@@ -1,0 +1,104 @@
+// Ablation: delay scheduling (Zaharia et al. — reference [3] of the
+// paper, and the source of its workload) on HOG. HOG's replication factor
+// 10 already buys excellent locality; delay scheduling is the scheduler-
+// side alternative. This bench measures both levers: FIFO vs FIFO+delay at
+// replication 3 and 10.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/util/table.h"
+
+using namespace hogsim;
+
+namespace {
+
+struct Outcome {
+  double response_s = 0;
+  double local_fraction = 0;
+  Bytes remote_input = 0;
+};
+
+Outcome Run(int replication, SimDuration wait) {
+  hog::HogConfig config;
+  config.replication = replication;
+  config.mr.locality_wait_node = wait;
+  config.mr.locality_wait_rack = wait;
+  hog::HogCluster cluster(bench::kSeeds[0], config);
+  cluster.RequestNodes(60);
+  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
+      !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
+    return {};
+  }
+  Rng rng(bench::kSeeds[0]);
+  workload::WorkloadConfig wl;
+  auto schedule = workload::GenerateFacebookSchedule(rng, wl);
+  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
+                                  cluster.namenode(), wl);
+  runner.PrepareInputs(schedule);
+  runner.SubmitAll(schedule);
+  const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
+  Outcome outcome;
+  outcome.response_s = result.response_time_s;
+  long long local = 0, rack = 0, remote = 0;
+  for (std::size_t j = 0; j < cluster.jobtracker().job_count(); ++j) {
+    const auto& job = cluster.jobtracker().job(static_cast<mr::JobId>(j));
+    local += job.data_local_maps;
+    rack += job.rack_local_maps;
+    remote += job.remote_maps;
+    outcome.remote_input += job.counters.remote_input_bytes;
+  }
+  const long long total = local + rack + remote;
+  outcome.local_fraction =
+      total > 0 ? static_cast<double>(local) / static_cast<double>(total) : 0;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: delay scheduling vs replication as locality levers "
+              "(60-node HOG)\n\n");
+  struct Case {
+    const char* name;
+    int replication;
+    SimDuration wait;
+  };
+  const Case cases[] = {
+      {"rep 3, plain FIFO", 3, 0},
+      {"rep 3, FIFO + delay 10 s", 3, 10 * kSecond},
+      {"rep 10, plain FIFO (HOG)", 10, 0},
+      {"rep 10, FIFO + delay 10 s", 10, 10 * kSecond},
+  };
+  TextTable table({"scheduler", "response (s)", "node-local maps",
+                   "remote input"});
+  std::vector<Outcome> outcomes;
+  for (const Case& c : cases) {
+    const Outcome o = Run(c.replication, c.wait);
+    outcomes.push_back(o);
+    table.AddRow({c.name, FormatDouble(o.response_s, 0),
+                  FormatDouble(o.local_fraction * 100, 1) + "%",
+                  FormatBytes(o.remote_input)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nMeasured shape: delay scheduling does raise the node-local "
+      "fraction at either replication factor — but on an opportunistic "
+      "grid it pays for that locality with wall-clock time: while a job "
+      "waits for a 'better' node, freshly joined replacement glideins "
+      "(which hold no replicas yet) sit idle. HOG's own lever — "
+      "replication 10, which the paper credits with 'very good data "
+      "locality' (§IV.D.2) — raises locality without idling slots, which "
+      "is why the scheduler-side trick that shines on stable clusters is "
+      "the wrong tool on a churning grid.\n");
+  std::printf("Delay scheduling lifts locality: %s; but costs response "
+              "under churn: %s\n",
+              (outcomes[1].local_fraction > outcomes[0].local_fraction &&
+               outcomes[3].local_fraction > outcomes[2].local_fraction)
+                  ? "YES"
+                  : "NO",
+              (outcomes[1].response_s > outcomes[0].response_s) ? "YES"
+                                                                : "NO");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation for §III.B — failure-detection latency. HOG lowers the
+// heartbeat recheck (namenode) and tracker expiry (jobtracker) from the
+// traditional ~15 minutes to 30 seconds. Under grid churn, slow detection
+// leaves dead nodes carrying phantom replicas and assigned-but-dead tasks
+// for many minutes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/util/table.h"
+
+using namespace hogsim;
+
+namespace {
+
+struct Outcome {
+  double response_s = 0;
+  int failed_jobs = 0;
+  std::uint64_t maps_reexecuted = 0;
+};
+
+Outcome Run(SimDuration recheck) {
+  hog::HogConfig config;
+  config.heartbeat_recheck = recheck;
+  hog::HogCluster cluster(bench::kSeeds[0], config);
+  cluster.RequestNodes(60);
+  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
+      !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
+    return {};
+  }
+  Rng rng(bench::kSeeds[0]);
+  workload::WorkloadConfig wl;
+  auto schedule = workload::GenerateFacebookSchedule(rng, wl);
+  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
+                                  cluster.namenode(), wl);
+  runner.PrepareInputs(schedule);
+  runner.SubmitAll(schedule);
+  const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
+  Outcome outcome;
+  outcome.response_s = result.response_time_s;
+  outcome.failed_jobs = result.failed;
+  outcome.maps_reexecuted = cluster.jobtracker().maps_reexecuted();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: failure-detection timeout under grid churn "
+              "(§III.B; paper lowers ~15 min -> 30 s)\n\n");
+  struct Case {
+    const char* name;
+    SimDuration recheck;
+  };
+  const Case cases[] = {
+      {"HOG (30 s)", 30 * kSecond},
+      {"2 min", 2 * kMinute},
+      {"traditional (15 min)", 15 * kMinute},
+  };
+  TextTable table({"recheck", "response (s)", "failed jobs",
+                   "maps re-executed"});
+  std::vector<Outcome> outcomes;
+  for (const Case& c : cases) {
+    const Outcome o = Run(c.recheck);
+    outcomes.push_back(o);
+    table.AddRow({c.name, FormatDouble(o.response_s, 0),
+                  std::to_string(o.failed_jobs),
+                  std::to_string(o.maps_reexecuted)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: with 15-minute detection, every preemption parks "
+      "task attempts and replicas on a dead node for up to 15 minutes "
+      "before recovery starts, stretching (or wedging) the workload; 30 s "
+      "detection recovers almost immediately.\n");
+  std::printf("30 s detection fastest: %s\n",
+              (outcomes[0].response_s <= outcomes[1].response_s &&
+               outcomes[0].response_s <= outcomes[2].response_s)
+                  ? "YES"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation for §III.B.1 — replication factor under correlated preemption.
+// The paper raises HDFS replication from 3 to 10 because simultaneous
+// preemptions routinely outrun re-replication. This bench sweeps the
+// replication factor under bursty preemption and reports data
+// availability and workload response.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/util/table.h"
+
+using namespace hogsim;
+
+namespace {
+
+struct Outcome {
+  double response_s = 0;
+  int failed_jobs = 0;
+  std::size_t missing_blocks = 0;
+  std::uint64_t replications = 0;
+  Bytes replication_bytes = 0;
+};
+
+Outcome Run(int replication) {
+  hog::HogConfig config;
+  config.replication = replication;
+  config.sites = hog::DefaultOsgSites();
+  for (auto& site : config.sites) {
+    site.node_mtbf_s = 5400.0;
+    site.burst_interval_s = 900.0;  // simultaneous preemptions are common
+    site.burst_fraction = 0.15;
+  }
+  hog::HogCluster cluster(bench::kSeeds[1], config);
+  cluster.RequestNodes(60);
+  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
+      !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
+    return {};
+  }
+  Rng rng(bench::kSeeds[1]);
+  workload::WorkloadConfig wl;
+  auto schedule = workload::GenerateFacebookSchedule(rng, wl);
+  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
+                                  cluster.namenode(), wl);
+  runner.PrepareInputs(schedule);
+  runner.SubmitAll(schedule);
+  const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
+  Outcome outcome;
+  outcome.response_s = result.response_time_s;
+  outcome.failed_jobs = result.failed;
+  outcome.missing_blocks = cluster.namenode().missing_blocks();
+  outcome.replications = cluster.namenode().replications_completed();
+  outcome.replication_bytes = cluster.namenode().replication_bytes();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: HDFS replication factor under bursty preemption "
+              "(§III.B.1; paper picks 10)\n\n");
+  TextTable table({"replication", "response (s)", "failed jobs",
+                   "missing blocks", "re-replications", "re-repl traffic"});
+  std::vector<Outcome> outcomes;
+  const int factors[] = {2, 3, 10};
+  for (int rep : factors) {
+    const Outcome o = Run(rep);
+    outcomes.push_back(o);
+    table.AddRow({std::to_string(rep), FormatDouble(o.response_s, 0),
+                  std::to_string(o.failed_jobs),
+                  std::to_string(o.missing_blocks),
+                  std::to_string(o.replications),
+                  FormatBytes(o.replication_bytes)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: low replication risks missing blocks / failed or "
+      "stalled jobs when bursts outrun the replication monitor; replication "
+      "10 keeps data available at the cost of heavier re-replication "
+      "traffic (the paper's trade-off: 'too many replicas would impose "
+      "extra overhead ... too few would cause frequent data failures').\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation for §VI (future work, implemented as an extension): PKI
+// encryption of HOG's HTTP communication. The paper plans to encrypt RPC
+// to prevent man-in-the-middle attacks on the open grid; this bench
+// measures what that protection would cost on the evaluation workload.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/util/table.h"
+
+using namespace hogsim;
+
+namespace {
+
+double Run(SimDuration handshake, double byte_overhead) {
+  hog::HogConfig config;
+  config.net.crypto_latency = handshake;
+  config.net.crypto_byte_overhead = byte_overhead;
+  hog::HogCluster cluster(bench::kSeeds[0], config);
+  cluster.RequestNodes(60);
+  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
+      !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
+    return -1;
+  }
+  Rng rng(bench::kSeeds[0]);
+  workload::WorkloadConfig wl;
+  auto schedule = workload::GenerateFacebookSchedule(rng, wl);
+  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
+                                  cluster.namenode(), wl);
+  runner.PrepareInputs(schedule);
+  runner.SubmitAll(schedule);
+  return runner.Run(cluster.sim().now() + bench::kRunDeadline)
+      .response_time_s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: §VI security — PKI-encrypted HTTP communication "
+              "(60-node HOG)\n\n");
+  struct Case {
+    const char* name;
+    SimDuration handshake;
+    double overhead;
+  };
+  const Case cases[] = {
+      {"plain HTTP (paper's current HOG)", 0, 0.0},
+      {"PKI: +5 ms handshake, +10% cipher cost", 5 * kMillisecond, 0.10},
+      {"PKI worst-case: +20 ms, +25%", 20 * kMillisecond, 0.25},
+  };
+  TextTable table({"configuration", "response (s)", "slowdown"});
+  double baseline = 0;
+  for (const Case& c : cases) {
+    const double response = Run(c.handshake, c.overhead);
+    if (baseline == 0) baseline = response;
+    table.AddRow({c.name, FormatDouble(response, 0),
+                  FormatDouble(response / baseline, 2) + "x"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: moderate PKI costs add single-digit percent to "
+      "the workload response (the WAN round trips and cipher overhead sit "
+      "mostly off the critical path), supporting §VI's plan that securing "
+      "HOG is affordable. Aggressive overheads start to show in the "
+      "shuffle-heavy phase.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces §IV.D.2 — "Disk Overflow": replication factor 10 plus slow
+// WAN reduces make intermediate map output pile up on worker disks (Hadoop
+// deletes it only when the whole job finishes), until map attempts fail
+// with out-of-disk errors reported to the jobtracker.
+//
+// Small scratch disks make the effect visible at bench scale; the
+// comparison shows the same workload on roomy disks stays clean.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/util/table.h"
+
+using namespace hogsim;
+
+namespace {
+
+struct Outcome {
+  double response_s = 0;
+  int failed_jobs = 0;
+  int succeeded = 0;
+  std::uint64_t attempts = 0;
+  double peak_disk_util = 0;
+};
+
+Outcome Run(Bytes node_disk) {
+  hog::HogConfig config;
+  for (auto& site : config.sites) site.node_disk = node_disk;
+  config.sites = hog::DefaultOsgSites();
+  for (auto& site : config.sites) {
+    site.node_disk = node_disk;
+    site.node_mtbf_s = 1e9;  // isolate the disk effect from churn
+    site.burst_interval_s = 0;
+  }
+  hog::HogCluster cluster(bench::kSeeds[0], config);
+  cluster.RequestNodes(40);
+  if (!cluster.WaitForNodes(40, bench::kSpinUpDeadline)) return {};
+
+  Rng rng(bench::kSeeds[0]);
+  workload::WorkloadConfig wl;
+  auto schedule = workload::GenerateFacebookSchedule(rng, wl);
+  // Keep input volume modest so the *intermediate* data is what overflows.
+  schedule.erase(std::remove_if(schedule.begin(), schedule.end(),
+                                [](const auto& j) { return j.bin > 5; }),
+                 schedule.end());
+  workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
+                                  cluster.namenode(), wl);
+  runner.PrepareInputs(schedule);
+  runner.SubmitAll(schedule);
+
+  // Track peak disk utilization across workers while running.
+  Outcome outcome;
+  while (!runner.Done() &&
+         cluster.sim().now() < bench::kRunDeadline) {
+    cluster.sim().RunUntil(cluster.sim().now() + 30 * kSecond);
+    for (auto id : cluster.grid().RunningNodeIds()) {
+      const auto& disk = cluster.grid().node(id)->disk();
+      outcome.peak_disk_util = std::max(
+          outcome.peak_disk_util, static_cast<double>(disk.used()) /
+                                      static_cast<double>(disk.capacity()));
+    }
+  }
+  const auto result = runner.Collect();
+  outcome.response_s = result.response_time_s;
+  outcome.failed_jobs = result.failed;
+  outcome.succeeded = result.succeeded;
+  outcome.attempts = cluster.jobtracker().attempts_launched();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("§IV.D.2: disk overflow from retained intermediate data\n");
+  std::printf("(replication 10, 40 nodes, bins 1-5; Hadoop keeps map output "
+              "until the job completes)\n\n");
+  struct Case {
+    const char* name;
+    Bytes disk;
+  };
+  const Case cases[] = {
+      {"tight scratch disks (8 GiB)", 8 * kGiB},
+      {"roomy scratch disks (100 GiB)", 100 * kGiB},
+  };
+  TextTable table({"configuration", "response (s)", "jobs ok", "jobs failed",
+                   "attempts", "peak disk util"});
+  std::vector<Outcome> outcomes;
+  for (const Case& c : cases) {
+    const Outcome o = Run(c.disk);
+    outcomes.push_back(o);
+    table.AddRow({c.name, FormatDouble(o.response_s, 0),
+                  std::to_string(o.succeeded), std::to_string(o.failed_jobs),
+                  std::to_string(o.attempts),
+                  FormatDouble(o.peak_disk_util * 100, 1) + "%"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: tight disks run at ~100%% utilization and report "
+      "out-of-disk task failures (extra attempts, possibly failed jobs), "
+      "exactly the worker-out-of-disk errors the paper saw; roomy disks "
+      "stay clean.\n");
+  std::printf("Overflow visible on tight disks: %s\n",
+              (outcomes[0].peak_disk_util > 0.97 &&
+               (outcomes[0].failed_jobs > outcomes[1].failed_jobs ||
+                outcomes[0].attempts > outcomes[1].attempts))
+                  ? "YES"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 5 — "HOG Node Fluctuation": the jobtracker-reported
+// live-node count over time for three 55-node executions of the Facebook
+// workload — two on comparatively stable grids (a, b) and one on an
+// unstable grid (c). The reported count momentarily exceeds 55 when nodes
+// die but have not yet hit their 30 s heartbeat timeout, exactly as the
+// paper notes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/util/table.h"
+
+using namespace hogsim;
+
+namespace {
+
+hog::HogConfig StableGrid() { return {}; }
+
+hog::HogConfig UnstableGrid() {
+  hog::HogConfig config;
+  config.sites = hog::DefaultOsgSites();
+  for (auto& site : config.sites) {
+    site.node_mtbf_s = 3200.0;       // busier owners
+    site.burst_interval_s = 600.0;   // frequent higher-priority bursts
+    site.burst_fraction = 0.18;
+  }
+  return config;
+}
+
+void PrintRun(char label, const bench::HogRunResult& result) {
+  std::printf("\nFig. 5%c (%s): response %.0f s, area %.0f node-s, mean "
+              "%.1f reported nodes, %llu preemptions\n",
+              label, label == 'c' ? "55 unstable nodes" : "55 stable nodes",
+              result.workload.response_time_s, result.area_beneath_curve,
+              result.mean_reported_nodes,
+              static_cast<unsigned long long>(result.preemptions));
+  // Downsampled trace (ASCII): reported nodes every ~5% of the run.
+  const SimDuration step =
+      std::max<SimDuration>(kMinute, (result.window_end - result.window_start) / 20);
+  std::printf("  t(s)    nodes  |bar (each # = 2 nodes)\n");
+  for (const auto& [t, v] :
+       result.reported_nodes.Sample(result.window_start, result.window_end,
+                                    step)) {
+    std::printf("  %6.0f  %5.0f  |%s\n",
+                ToSeconds(t - result.window_start), v,
+                std::string(static_cast<std::size_t>(v / 2), '#').c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 5: HOG node fluctuation (three 55-node executions)\n");
+  // Runs a and b: default (stable-ish) grid with different seeds; run c:
+  // an unstable grid. The paper's three runs differed by the grid's mood
+  // during execution; seeds play that role here.
+  const auto a = bench::RunHogWorkload(55, bench::kSeeds[0], StableGrid());
+  const auto b = bench::RunHogWorkload(55, bench::kSeeds[1], StableGrid());
+  const auto c = bench::RunHogWorkload(55, bench::kSeeds[2], UnstableGrid());
+  PrintRun('a', a);
+  PrintRun('b', b);
+  PrintRun('c', c);
+
+  std::printf("\nExpected shape (paper): the unstable run (c) shows larger "
+              "node swings, the longest response time and the largest "
+              "area-beneath-curve deviation per second; reported counts "
+              "briefly exceed 55 after preemptions.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Microbenchmarks (google-benchmark) for the simulation substrate: event
+// queue throughput, flow-network sharing policies, disk fair queue, and
+// namenode placement. These bound how large a HOG experiment the simulator
+// can run per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "src/hdfs/datanode.h"
+#include "src/hdfs/namenode.h"
+#include "src/hdfs/placement.h"
+#include "src/hdfs/topology.h"
+#include "src/net/flow_network.h"
+#include "src/sim/simulation.h"
+#include "src/storage/disk.h"
+#include "src/util/rng.h"
+
+namespace hogsim {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    Rng rng(1);
+    for (int i = 0; i < n; ++i) {
+      sim.ScheduleAt(rng.UniformInt(0, 1'000'000), [] {});
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      handles.push_back(sim.ScheduleAt(i, [] {}));
+    }
+    for (int i = 0; i < n; i += 2) {
+      sim.Cancel(handles[static_cast<std::size_t>(i)]);
+    }
+    sim.RunAll();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(65536);
+
+void RunFlowChurn(net::SharingPolicy policy, int sites, int nodes_per_site,
+                  int flows) {
+  sim::Simulation sim;
+  net::FlowNetworkConfig config;
+  config.sharing = policy;
+  net::FlowNetwork net(sim, config);
+  Rng rng(7);
+  std::vector<net::NodeId> nodes;
+  for (int s = 0; s < sites; ++s) {
+    const net::SiteId site = net.AddSite(Gbps(2));
+    for (int n = 0; n < nodes_per_site; ++n) {
+      nodes.push_back(net.AddNode(site, Gbps(1)));
+    }
+  }
+  for (int f = 0; f < flows; ++f) {
+    const auto src = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(nodes.size()) - 1));
+    auto dst = src;
+    while (dst == src) {
+      dst = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(nodes.size()) - 1));
+    }
+    sim.ScheduleAt(rng.UniformInt(0, 10 * kSecond), [&, src, dst] {
+      net.StartFlow(nodes[src], nodes[dst], 16 * kMiB, [](bool) {});
+    });
+  }
+  sim.RunAll();
+}
+
+void BM_FlowNetworkEvenShare(benchmark::State& state) {
+  for (auto _ : state) {
+    RunFlowChurn(net::SharingPolicy::kEvenShare, 5, 40,
+                 static_cast<int>(state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowNetworkEvenShare)->Arg(512)->Arg(4096);
+
+void BM_FlowNetworkMaxMin(benchmark::State& state) {
+  for (auto _ : state) {
+    RunFlowChurn(net::SharingPolicy::kMaxMinFair, 5, 40,
+                 static_cast<int>(state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowNetworkMaxMin)->Arg(512);
+
+void BM_DiskFairQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    storage::Disk disk(sim, kTiB, MiBps(100));
+    Rng rng(3);
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.ScheduleAt(rng.UniformInt(0, kSecond), [&] {
+        disk.Read(4 * kMiB, [] {});
+      });
+    }
+    sim.RunAll();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DiskFairQueue)->Arg(256)->Arg(2048);
+
+struct PlacementFixture {
+  sim::Simulation sim;
+  net::FlowNetwork net{sim};
+  std::unique_ptr<hdfs::Namenode> nn;
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  std::vector<std::unique_ptr<hdfs::Datanode>> daemons;
+
+  explicit PlacementFixture(int sites, int per_site, bool site_aware) {
+    const net::NodeId master = net.AddNode(net.AddSite(Gbps(10)), Gbps(1));
+    hdfs::HdfsConfig config;
+    config.default_replication = 10;
+    nn = std::make_unique<hdfs::Namenode>(
+        sim, net, master, hdfs::SiteAwarenessScript(),
+        site_aware ? hdfs::MakeSiteAwarePlacement()
+                   : hdfs::MakeDefaultPlacement(),
+        Rng(5), config);
+    nn->Start();
+    for (int s = 0; s < sites; ++s) {
+      const net::SiteId site = net.AddSite(Gbps(2));
+      for (int n = 0; n < per_site; ++n) {
+        disks.push_back(
+            std::make_unique<storage::Disk>(sim, kTiB, MiBps(60)));
+        daemons.push_back(std::make_unique<hdfs::Datanode>(
+            sim, net, *nn, "w" + std::to_string(n) + ".s" +
+                              std::to_string(s) + ".edu",
+            net.AddNode(site, Gbps(1)), *disks.back()));
+        daemons.back()->Start();
+      }
+    }
+  }
+};
+
+void BM_NamenodeSiteAwarePlacement(benchmark::State& state) {
+  PlacementFixture fx(5, static_cast<int>(state.range(0)) / 5, true);
+  int i = 0;
+  for (auto _ : state) {
+    fx.nn->ImportFile("f" + std::to_string(i++), 64 * kMiB);
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // replicas placed
+}
+BENCHMARK(BM_NamenodeSiteAwarePlacement)->Arg(100)->Arg(1000);
+
+void BM_NamenodeBlockLocations(benchmark::State& state) {
+  PlacementFixture fx(5, 40, true);
+  const auto file = fx.nn->ImportFile("f", 64 * 64 * kMiB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.nn->GetFileBlocks(file));
+  }
+}
+BENCHMARK(BM_NamenodeBlockLocations);
+
+}  // namespace
+}  // namespace hogsim
+
+BENCHMARK_MAIN();

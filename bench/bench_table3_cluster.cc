@@ -1,0 +1,44 @@
+// Reproduces Table III — the dedicated MapReduce cluster — and measures
+// the baseline it anchors: the Facebook workload's response time on that
+// cluster (the dashed line of Fig. 4).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/util/table.h"
+
+using namespace hogsim;
+
+int main() {
+  std::printf("Table III: dedicated MapReduce cluster configuration\n\n");
+  TextTable table({"Nodes", "Quantity", "Configuration"});
+  table.AddRow({"Master node", "1", "2x 2.2GHz CPUs, 1 Gbps Ethernet"});
+  table.AddRow({"Slave nodes-I", "20",
+                "2x dual-core 2.2GHz, 1 Gbps, 4 map + 1 reduce slots"});
+  table.AddRow({"Slave nodes-II", "10",
+                "2x single-core 2.2GHz, 1 Gbps, 2 map + 1 reduce slots"});
+  table.Print(std::cout);
+
+  baseline::DedicatedCluster probe(1);
+  std::printf("\nInstantiated cluster: %d slaves, %d map slots, %d reduce "
+              "slots (paper: 100 cores)\n",
+              probe.slave_count(), probe.total_map_slots(),
+              probe.total_reduce_slots());
+
+  std::printf("\nBaseline measurement (Facebook workload, 3 runs):\n\n");
+  TextTable runs({"seed", "response time (s)", "jobs ok", "jobs failed"});
+  RunningStats stats;
+  const int n_runs = bench::FastMode() ? 1 : 3;
+  for (int i = 0; i < n_runs; ++i) {
+    const auto result = bench::RunClusterWorkload(bench::kSeeds[i]);
+    stats.Add(result.response_time_s);
+    runs.AddRow({std::to_string(bench::kSeeds[i]),
+                 FormatDouble(result.response_time_s, 0),
+                 std::to_string(result.succeeded),
+                 std::to_string(result.failed)});
+  }
+  runs.Print(std::cout);
+  std::printf("\nCluster baseline: mean %.0f s (the Fig. 4 dashed line)\n",
+              stats.mean());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared harness code for the paper-reproduction benches: spins up a HOG
+// deployment or the Table III cluster, replays the Facebook workload, and
+// returns the paper's metrics.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "src/baseline/dedicated_cluster.h"
+#include "src/hog/hog_cluster.h"
+#include "src/util/stats.h"
+#include "src/workload/facebook.h"
+#include "src/workload/runner.h"
+
+namespace hogsim::bench {
+
+constexpr SimTime kSpinUpDeadline = 4 * kHour;
+constexpr SimTime kRunDeadline = 12 * kHour;
+
+/// Seeds for the paper's "3 runs at each sampling point".
+constexpr std::uint64_t kSeeds[] = {11, 23, 47};
+
+struct HogRunResult {
+  bool reached_target = false;
+  int nodes_at_start = 0;
+  workload::WorkloadResult workload;
+  double area_beneath_curve = 0;  // Table IV metric (node-seconds)
+  double mean_reported_nodes = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t maps_reexecuted = 0;
+  StepSeries reported_nodes;  // Fig. 5 trace over the workload window
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+};
+
+/// Runs the full 88-job Facebook workload on a HOG deployment of
+/// `max_nodes` glideins: wait for the configured maximum (falling back to
+/// 95% under churn, as an operator would), then replay the schedule.
+inline HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
+                                   hog::HogConfig config = {}) {
+  HogRunResult result;
+  hog::HogCluster cluster(seed, std::move(config));
+  cluster.RequestNodes(max_nodes);
+  result.reached_target =
+      cluster.WaitForNodes(max_nodes, kSpinUpDeadline) ||
+      cluster.WaitForNodes(max_nodes * 95 / 100,
+                           cluster.sim().now() + kSpinUpDeadline);
+  if (!result.reached_target) return result;
+  result.nodes_at_start = cluster.grid().running_nodes();
+
+  Rng rng(seed);
+  workload::WorkloadConfig wl;
+  const auto schedule = workload::GenerateFacebookSchedule(rng, wl);
+  workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
+                                  cluster.namenode(), wl);
+  runner.PrepareInputs(schedule);
+  cluster.StartAvailabilityTrace();
+  const std::uint64_t preempt_before = cluster.grid().preemptions();
+  result.window_start = cluster.sim().now();
+  runner.SubmitAll(schedule);
+  result.workload = runner.Run(cluster.sim().now() + kRunDeadline);
+  result.window_end =
+      result.window_start + FromSeconds(result.workload.response_time_s);
+  result.preemptions = cluster.grid().preemptions() - preempt_before;
+  result.maps_reexecuted = cluster.jobtracker().maps_reexecuted();
+  result.reported_nodes = cluster.reported_nodes();
+  result.area_beneath_curve = cluster.reported_nodes().AreaUnder(
+      result.window_start, result.window_end);
+  result.mean_reported_nodes = cluster.reported_nodes().MeanOver(
+      result.window_start, result.window_end);
+  return result;
+}
+
+/// Runs the workload on the dedicated Table III cluster.
+inline workload::WorkloadResult RunClusterWorkload(std::uint64_t seed) {
+  baseline::DedicatedCluster cluster(seed);
+  Rng rng(seed);
+  workload::WorkloadConfig wl;
+  const auto schedule = workload::GenerateFacebookSchedule(rng, wl);
+  workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
+                                  cluster.namenode(), wl);
+  runner.PrepareInputs(schedule);
+  runner.SubmitAll(schedule);
+  return runner.Run(kRunDeadline);
+}
+
+/// FAST=1 in the environment trims sweeps for smoke-testing the benches.
+inline bool FastMode() {
+  const char* fast = std::getenv("HOGSIM_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+}  // namespace hogsim::bench

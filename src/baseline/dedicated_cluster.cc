@@ -1,0 +1,59 @@
+#include "src/baseline/dedicated_cluster.h"
+
+#include "src/hdfs/placement.h"
+#include "src/hdfs/topology.h"
+
+namespace hogsim::baseline {
+
+DedicatedCluster::DedicatedCluster(std::uint64_t seed, ClusterConfig config)
+    : config_(std::move(config)), net_(sim_) {
+  Rng rng(seed);
+
+  // One rack <=> one network site; the LAN's 1 Gbps NICs are the only
+  // bandwidth constraints (the "uplink" is never crossed).
+  const net::SiteId site = net_.AddSite(Gbps(100.0));
+  master_ = net_.AddNode(site, config_.nic);
+
+  namenode_ = std::make_unique<hdfs::Namenode>(
+      sim_, net_, master_, hdfs::FlatTopology(),
+      hdfs::MakeDefaultPlacement(), rng.Fork("namenode"), config_.hdfs);
+  namenode_->Start();
+  jobtracker_ = std::make_unique<mr::JobTracker>(
+      sim_, net_, *namenode_, master_, hdfs::FlatTopology(), config_.mr);
+  jobtracker_->Start();
+  dfs_ = std::make_unique<hdfs::DfsClient>(*namenode_);
+
+  int index = 0;
+  for (const SlaveGroup& group : config_.groups) {
+    for (int i = 0; i < group.count; ++i, ++index) {
+      Slave slave;
+      slave.net_node = net_.AddNode(site, config_.nic);
+      slave.disk = std::make_unique<storage::Disk>(sim_, config_.slave_disk,
+                                                   config_.slave_disk_bw);
+      const std::string hostname =
+          "slave" + std::to_string(index) + ".cluster.local";
+      slave.datanode = std::make_unique<hdfs::Datanode>(
+          sim_, net_, *namenode_, hostname, slave.net_node, *slave.disk);
+      slave.datanode->Start();
+      slave.tasktracker = std::make_unique<mr::TaskTracker>(
+          sim_, net_, *jobtracker_, *dfs_, hostname, slave.net_node,
+          *slave.disk, group.map_slots, group.reduce_slots);
+      slave.tasktracker->Start();
+      total_map_slots_ += group.map_slots;
+      total_reduce_slots_ += group.reduce_slots;
+      slaves_.push_back(std::move(slave));
+    }
+  }
+}
+
+DedicatedCluster::~DedicatedCluster() = default;
+
+void DedicatedCluster::KillSlave(int index) {
+  Slave& slave = slaves_.at(static_cast<std::size_t>(index));
+  slave.datanode->Shutdown();
+  slave.tasktracker->Shutdown();
+  net_.FailFlowsAtNode(slave.net_node);
+  slave.disk->CancelAll();
+}
+
+}  // namespace hogsim::baseline

@@ -1,0 +1,41 @@
+// Condor submit-file front end.
+//
+// The paper's Listing 1 drives HOG's node acquisition: a vanilla-universe
+// Condor job, restricted via GLIDEIN_ResourceName requirements to the five
+// OSG sites with publicly routable worker nodes, queued N times. We parse
+// that exact syntax so examples can feed Listing 1 verbatim to the grid.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hogsim::grid {
+
+struct CondorSubmit {
+  std::string universe;                  // "vanilla"
+  std::string executable;               // wrapper script name
+  std::vector<std::string> resources;   // GLIDEIN_ResourceName alternatives
+  std::string output;
+  std::string error;
+  std::string log;
+  bool should_transfer_files = false;
+  bool on_exit_remove = true;
+  std::string x509userproxy;
+  int queue_count = 0;                  // "queue N"
+};
+
+/// Parses a Condor submit description. Handles `key = value` lines,
+/// `queue [N]`, comments (#), blank lines, and requirement expressions of
+/// the form used in the paper:
+///   requirements = GLIDEIN_ResourceName =?= "A" || GLIDEIN_ResourceName =?= "B"
+/// Values may continue onto following lines when a line ends inside an
+/// unfinished requirements expression (trailing ||, as the paper's listing
+/// wraps). Throws std::invalid_argument on malformed input.
+CondorSubmit ParseCondorSubmit(std::string_view text);
+
+/// Renders the paper's Listing 1 for the given resources/queue count
+/// (round-tripping convenience for examples and tests).
+std::string RenderCondorSubmit(const CondorSubmit& submit);
+
+}  // namespace hogsim::grid

@@ -1,0 +1,269 @@
+#include "src/grid/grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/log.h"
+
+namespace hogsim::grid {
+
+Grid::Grid(sim::Simulation& sim, net::FlowNetwork& net, net::NodeId repo_node,
+           Rng rng, GridConfig config)
+    : sim_(sim), net_(net), repo_node_(repo_node), rng_(rng), config_(config) {}
+
+void Grid::AddSite(SiteConfig config) {
+  Site site;
+  site.net_site = net_.AddSite(config.uplink);
+  site.rng = rng_.Fork("site:" + config.resource_name);
+  site.config = std::move(config);
+  sites_.push_back(std::move(site));
+  site_allowed_.push_back(true);
+  const std::size_t index = sites_.size() - 1;
+  if (sites_[index].config.burst_interval_s > 0.0) ArmBurst(index);
+}
+
+void Grid::SetTargetNodes(int count) {
+  assert(count >= 0);
+  target_ = count;
+  Reconcile();
+}
+
+void Grid::Submit(const CondorSubmit& submit) {
+  std::vector<bool> allowed(sites_.size(), submit.resources.empty());
+  for (const auto& name : submit.resources) {
+    bool matched = false;
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      if (sites_[i].config.resource_name == name) {
+        allowed[i] = true;
+        matched = true;
+      }
+    }
+    if (!matched) {
+      throw std::invalid_argument("unknown GLIDEIN_ResourceName: " + name);
+    }
+  }
+  site_allowed_ = std::move(allowed);
+  SetTargetNodes(target_ + submit.queue_count);
+}
+
+std::size_t Grid::PickSite() {
+  // Weight sites by free pool capacity so large sites absorb more load,
+  // mirroring how a central Condor pool matches idle slots.
+  std::vector<double> weights(sites_.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (!site_allowed_[i]) continue;
+    const int free = sites_[i].config.pool_size - sites_[i].active;
+    if (free > 0) {
+      weights[i] = static_cast<double>(free);
+      total += weights[i];
+    }
+  }
+  if (total <= 0.0) return sites_.size();  // everything full
+  return rng_.WeightedIndex(weights.data(), weights.size());
+}
+
+void Grid::Reconcile() {
+  // Trim: remove queued/starting leases first (condor_rm of idle jobs),
+  // then preempt running nodes cleanly.
+  while (active_leases_ > target_) {
+    GridNodeId victim = kInvalidGridNode;
+    for (const auto& n : nodes_) {
+      if (n->state_ == NodeState::kQueued ||
+          n->state_ == NodeState::kStarting) {
+        victim = n->id();
+        break;
+      }
+    }
+    if (victim == kInvalidGridNode) {
+      for (const auto& n : nodes_) {
+        if (n->state_ == NodeState::kRunning) {
+          victim = n->id();
+          break;
+        }
+      }
+    }
+    if (victim == kInvalidGridNode) break;
+    Preempt(victim, /*allow_zombie=*/false);
+  }
+  // Grow: submit new glideins while sites have capacity.
+  while (active_leases_ < target_) {
+    const std::size_t site = PickSite();
+    if (site >= sites_.size()) break;  // grid saturated; retry on next event
+    SubmitGlidein();
+  }
+}
+
+void Grid::SubmitGlidein() {
+  const std::size_t site_index = PickSite();
+  assert(site_index < sites_.size());
+  Site& site = sites_[site_index];
+
+  const auto id = static_cast<GridNodeId>(nodes_.size());
+  std::string hostname = "g" + std::to_string(site.hostname_counter++) + "." +
+                         site.config.domain;
+  const net::NodeId net_node =
+      net_.AddNode(site.net_site, site.config.node_nic);
+  auto disk = std::make_unique<storage::Disk>(sim_, site.config.node_disk,
+                                              site.config.node_disk_bw);
+  nodes_.push_back(std::make_unique<GridNode>(
+      id, std::move(hostname), static_cast<std::uint32_t>(site_index),
+      net_node, std::move(disk), site.config.node_cores));
+  GridNode& node = *nodes_.back();
+
+  ++site.active;
+  ++active_leases_;
+
+  const double wait = site.rng.Exponential(site.config.queue_delay_mean_s);
+  node.lifetime_event_ = sim_.ScheduleAfter(
+      FromSeconds(wait), [this, id] { StartGlidein(id); });
+}
+
+void Grid::StartGlidein(GridNodeId id) {
+  GridNode& node = *nodes_[id];
+  if (node.state_ != NodeState::kQueued) return;
+  node.state_ = NodeState::kStarting;
+  Site& site = sites_[node.site_index_];
+
+  // Wrapper step 1: initialize the OSG operating environment, then step
+  // 2-3: download and extract the 75 MB worker package from the central
+  // repository. Concurrent startups contend on the repository's uplink,
+  // which naturally staggers large scale-ups.
+  const double env_init = site.rng.Exponential(config_.env_init_mean_s);
+  node.lifetime_event_ = sim_.ScheduleAfter(FromSeconds(env_init), [this, id] {
+    GridNode& n = *nodes_[id];
+    if (n.state_ != NodeState::kStarting) return;
+    net_.StartFlow(repo_node_, n.net_node(), config_.wrapper_payload,
+                   [this, id](bool ok) {
+                     GridNode& m = *nodes_[id];
+                     if (!ok || m.state_ != NodeState::kStarting) return;
+                     // Step 4: start the Hadoop daemons.
+                     m.lifetime_event_ = sim_.ScheduleAfter(
+                         FromSeconds(config_.daemon_start_s),
+                         [this, id] { FinishStartup(id); });
+                   });
+  });
+}
+
+void Grid::FinishStartup(GridNodeId id) {
+  GridNode& node = *nodes_[id];
+  if (node.state_ != NodeState::kStarting) return;
+  node.state_ = NodeState::kRunning;
+  ++running_;
+  SchedulePreemption(id);
+  HOG_LOG(kInfo, sim_.now(), "grid")
+      << "glidein up: " << node.hostname() << " (running=" << running_ << ")";
+  if (on_node_start_) on_node_start_(node);
+}
+
+void Grid::SchedulePreemption(GridNodeId id) {
+  GridNode& node = *nodes_[id];
+  Site& site = sites_[node.site_index_];
+  const double lifetime = site.rng.Exponential(site.config.node_mtbf_s);
+  node.lifetime_event_ = sim_.ScheduleAfter(
+      FromSeconds(lifetime), [this, id] { Preempt(id, /*allow_zombie=*/true); });
+}
+
+void Grid::Preempt(GridNodeId id, bool allow_zombie) {
+  GridNode& node = *nodes_[id];
+  if (node.state_ == NodeState::kDead || node.state_ == NodeState::kZombie) {
+    return;
+  }
+  sim_.Cancel(node.lifetime_event_);
+  Site& site = sites_[node.site_index_];
+  const bool was_running = node.state_ == NodeState::kRunning;
+
+  --site.active;
+  --active_leases_;
+  if (was_running) {
+    --running_;
+    ++preemptions_;
+  }
+
+  const bool zombie = was_running && allow_zombie &&
+                      rng_.Chance(config_.zombie_probability);
+  if (zombie) {
+    // The site killed the wrapper and deleted its working directory, but
+    // the double-forked daemons escaped the process tree (§IV.D.1).
+    node.state_ = NodeState::kZombie;
+    ++zombies_;
+    ++zombie_events_;
+    node.disk().set_writable(false);
+    HOG_LOG(kInfo, sim_.now(), "grid")
+        << "zombie preemption: " << node.hostname();
+    if (on_node_zombie_) on_node_zombie_(node);
+  } else {
+    node.state_ = NodeState::kDead;
+    net_.FailFlowsAtNode(node.net_node());
+    node.disk().CancelAll();
+    if (was_running) {
+      HOG_LOG(kInfo, sim_.now(), "grid")
+          << "preempted: " << node.hostname() << " (running=" << running_
+          << ")";
+      if (on_node_preempt_) on_node_preempt_(node);
+    }
+  }
+  Reconcile();
+}
+
+void Grid::KillZombie(GridNodeId id) {
+  GridNode& node = *nodes_[id];
+  if (node.state_ != NodeState::kZombie) return;
+  node.state_ = NodeState::kDead;
+  --zombies_;
+  net_.FailFlowsAtNode(node.net_node());
+  node.disk().CancelAll();
+}
+
+void Grid::ArmBurst(std::size_t site_index) {
+  Site& site = sites_[site_index];
+  const double wait = site.rng.Exponential(site.config.burst_interval_s);
+  site.burst_event = sim_.ScheduleAfter(FromSeconds(wait), [this, site_index] {
+    Site& s = sites_[site_index];
+    // A higher-priority user grabbed a batch of slots: evict a random
+    // fraction of this site's running glideins simultaneously.
+    double fraction = s.rng.Exponential(s.config.burst_fraction);
+    fraction = std::min(fraction, 1.0);
+    PreemptSiteFraction(site_index, fraction);
+    ArmBurst(site_index);
+  });
+}
+
+void Grid::PreemptSiteFraction(std::size_t site_index, double fraction) {
+  assert(site_index < sites_.size());
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  std::vector<GridNodeId> victims;
+  for (const auto& n : nodes_) {
+    if (n->state_ == NodeState::kRunning && n->site_index_ == site_index) {
+      victims.push_back(n->id());
+    }
+  }
+  const auto count = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(victims.size())));
+  // Uniform sample without replacement (partial Fisher-Yates).
+  Site& site = sites_[site_index];
+  for (std::size_t i = 0; i < count && i < victims.size(); ++i) {
+    const auto j = static_cast<std::size_t>(site.rng.UniformInt(
+        static_cast<std::int64_t>(i),
+        static_cast<std::int64_t>(victims.size()) - 1));
+    std::swap(victims[i], victims[j]);
+    Preempt(victims[i], /*allow_zombie=*/true);
+  }
+  if (count > 0) {
+    HOG_LOG(kInfo, sim_.now(), "grid")
+        << "burst at " << site.config.resource_name << ": " << count
+        << " nodes preempted";
+  }
+}
+
+std::vector<GridNodeId> Grid::RunningNodeIds() const {
+  std::vector<GridNodeId> out;
+  for (const auto& n : nodes_) {
+    if (n->state_ == NodeState::kRunning) out.push_back(n->id());
+  }
+  return out;
+}
+
+}  // namespace hogsim::grid

@@ -1,0 +1,336 @@
+#include "src/hdfs/dfs_client.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/hdfs/datanode.h"
+#include "src/util/log.h"
+
+namespace hogsim::hdfs {
+
+void DfsOp::Cancel() {
+  if (state_ == nullptr || state_->finished) return;
+  state_->cancelled = true;
+  state_->finished = true;
+  if (state_->abort) {
+    auto abort = std::move(state_->abort);
+    abort();
+  }
+}
+
+DfsClient::DfsClient(Namenode& namenode)
+    : nn_(namenode), sim_(namenode.simulation()), net_(namenode.network()) {}
+
+DfsOp DfsClient::ReadBlock(net::NodeId reader, BlockId block,
+                           ReadCallback done) {
+  DfsOp op;
+  op.state_ = std::make_shared<DfsOp::State>();
+
+  // Locality-ordered replica list: local node, then same site, then rest.
+  std::vector<DatanodeId> holders = nn_.BlockHolders(block);
+  std::vector<DatanodeId> order;
+  auto add_matching = [&](auto&& pred) {
+    for (DatanodeId dn : holders) {
+      if (std::find(order.begin(), order.end(), dn) == order.end() &&
+          pred(dn)) {
+        order.push_back(dn);
+      }
+    }
+  };
+  add_matching([&](DatanodeId dn) {
+    return nn_.datanode(dn).net_node == reader;
+  });
+  add_matching([&](DatanodeId dn) {
+    return net_.site_of(nn_.datanode(dn).net_node) == net_.site_of(reader);
+  });
+  add_matching([](DatanodeId) { return true; });
+
+  TryReadReplica(op.state_, reader, block, std::move(order), 0,
+                 std::move(done));
+  return op;
+}
+
+void DfsClient::TryReadReplica(std::shared_ptr<DfsOp::State> state,
+                               net::NodeId reader, BlockId block,
+                               std::vector<DatanodeId> order,
+                               std::size_t index, ReadCallback done) {
+  if (state->cancelled) return;
+  if (!nn_.available()) {
+    // Master outage (§III.B): the file system is unavailable; block and
+    // retry rather than fail — no data is lost.
+    auto handle = sim_.ScheduleAfter(
+        10 * kSecond,
+        [this, state, reader, block, order, index, done]() mutable {
+          TryReadReplica(state, reader, block, std::move(order), index,
+                         std::move(done));
+        });
+    state->abort = [&sim = sim_, handle]() mutable { sim.Cancel(handle); };
+    return;
+  }
+  const Bytes size = nn_.BlockSize(block);
+  auto finish = [state, done](bool ok, bool local) {
+    if (state->cancelled) return;
+    state->finished = true;
+    state->abort = nullptr;
+    done(ok, local);
+  };
+  if (index >= order.size()) {
+    finish(false, false);
+    return;
+  }
+  const DatanodeId dn = order[index];
+  Datanode* daemon = nn_.datanode(dn).daemon;
+  auto next = [this, state, reader, block, order, index,
+               done](SimDuration delay) mutable {
+    auto handle = sim_.ScheduleAfter(
+        delay, [this, state, reader, block, order = std::move(order), index,
+                done = std::move(done)]() mutable {
+          TryReadReplica(state, reader, block, std::move(order), index + 1,
+                         std::move(done));
+        });
+    state->abort = [&sim = sim_, handle]() mutable { sim.Cancel(handle); };
+  };
+
+  if (daemon == nullptr || !daemon->process_alive()) {
+    // Connection refused: fail fast, costing one round trip.
+    next(2 * net_.Latency(reader, nn_.datanode(dn).net_node));
+    return;
+  }
+  if (!daemon->can_serve()) {
+    // Zombie datanode (§IV.D.1): it accepts the connection but cannot read
+    // its deleted block directory; the client wastes a timeout.
+    next(nn_.config().read_retry_timeout);
+    return;
+  }
+  if (daemon->net_node() == reader) {
+    // Node-local read straight off the local disk.
+    const auto op = daemon->disk().Read(size, [this, finish, size] {
+      local_read_bytes_ += size;
+      finish(true, true);
+    });
+    state->abort = [daemon, op] { daemon->disk().Cancel(op); };
+    return;
+  }
+  // Remote read: the serving datanode reads from its disk, then streams the
+  // block to the reader.
+  const auto disk_op = daemon->disk().Read(size, [this, state, reader, block,
+                                                  order, index, done, daemon,
+                                                  size, finish]() mutable {
+    if (state->cancelled) return;
+    const net::FlowId flow = net_.StartFlow(
+        daemon->net_node(), reader, size,
+        [this, state, reader, block, order = std::move(order), index,
+         done = std::move(done), size, finish](bool ok) mutable {
+          if (state->cancelled) return;
+          if (ok) {
+            remote_read_bytes_ += size;
+            finish(true, false);
+          } else {
+            TryReadReplica(state, reader, block, std::move(order), index + 1,
+                           std::move(done));
+          }
+        });
+    state->abort = [&net = net_, flow] { net.CancelFlow(flow); };
+  });
+  state->abort = [daemon, disk_op] { daemon->disk().Cancel(disk_op); };
+}
+
+DfsOp DfsClient::WriteBlock(net::NodeId writer, FileId file, Bytes size,
+                            Callback done) {
+  DfsOp op;
+  op.state_ = std::make_shared<DfsOp::State>();
+  RunPipeline(op.state_, writer, file, size, 0, std::move(done));
+  return op;
+}
+
+DfsOp DfsClient::UploadFile(net::NodeId writer, std::string name, Bytes size,
+                            int replication,
+                            std::function<void(bool, FileId)> done) {
+  DfsOp op;
+  op.state_ = std::make_shared<DfsOp::State>();
+  const FileId file = nn_.CreateFile(std::move(name), replication);
+  const Bytes block_size = nn_.config().block_size;
+
+  // Stream blocks one at a time; the recursive continuation owns the op
+  // state so a Cancel() aborts the in-flight pipeline and stops the chain.
+  auto next = std::make_shared<std::function<void(Bytes)>>();
+  *next = [this, state = op.state_, writer, file, block_size, done,
+           next](Bytes remaining) {
+    if (state->cancelled) return;
+    if (remaining <= 0) {
+      state->finished = true;
+      state->abort = nullptr;
+      done(true, file);
+      return;
+    }
+    const Bytes chunk = std::min(remaining, block_size);
+    // Delegate to the pipeline machinery through a nested op whose abort
+    // is forwarded from ours.
+    auto inner = std::make_shared<DfsOp::State>();
+    RunPipeline(inner, writer, file, chunk, 0,
+                [this, state, done, next, remaining, chunk, file](bool ok) {
+                  if (state->cancelled) return;
+                  if (!ok) {
+                    state->finished = true;
+                    state->abort = nullptr;
+                    done(false, file);
+                    return;
+                  }
+                  (*next)(remaining - chunk);
+                });
+    state->abort = [inner] {
+      inner->cancelled = true;
+      if (inner->abort) {
+        auto abort = std::move(inner->abort);
+        abort();
+      }
+    };
+  };
+  (*next)(size);
+  return op;
+}
+
+void DfsClient::RunPipeline(std::shared_ptr<DfsOp::State> state,
+                            net::NodeId writer, FileId file, Bytes size,
+                            int attempt, Callback done) {
+  if (state->cancelled) return;
+  if (!nn_.available()) {
+    // Block on the master outage without consuming a write attempt.
+    auto handle = sim_.ScheduleAfter(
+        10 * kSecond, [this, state, writer, file, size, attempt, done] {
+          RunPipeline(state, writer, file, size, attempt, done);
+        });
+    state->abort = [&sim = sim_, handle]() mutable { sim.Cancel(handle); };
+    return;
+  }
+  if (!nn_.FileExists(file)) return;
+  auto finish = [state, done](bool ok) {
+    if (state->cancelled) return;
+    state->finished = true;
+    state->abort = nullptr;
+    done(ok);
+  };
+
+  const int replication = nn_.FileReplication(file);
+  const DatanodeId writer_dn = nn_.DatanodeAt(writer);
+  const std::vector<DatanodeId> targets =
+      nn_.ChooseTargets(replication, writer_dn, {}, size);
+  if (targets.empty()) {
+    if (attempt + 1 < kMaxWriteAttempts) {
+      auto handle = sim_.ScheduleAfter(
+          kSecond, [this, state, writer, file, size, attempt, done] {
+            RunPipeline(state, writer, file, size, attempt + 1, done);
+          });
+      state->abort = [&sim = sim_, handle]() mutable { sim.Cancel(handle); };
+    } else {
+      HOG_LOG(kWarn, sim_.now(), "dfs")
+          << "write failed: no targets for " << size << " bytes";
+      finish(false);
+    }
+    return;
+  }
+
+  // Reserve space on every pipeline member up front (the policy only
+  // proposed nodes that had room at selection time).
+  for (DatanodeId t : targets) {
+    const bool ok = nn_.datanode(t).daemon->disk().Reserve(size);
+    assert(ok);
+    (void)ok;
+  }
+
+  struct Pipeline {
+    BlockId block;
+    std::vector<DatanodeId> targets;
+    std::vector<net::FlowId> flows;
+    std::vector<storage::FairQueue::OpId> writes;
+    std::vector<char> succeeded;
+    int outstanding = 0;
+  };
+  auto p = std::make_shared<Pipeline>();
+  p->block = nn_.AllocateBlock(file, size);
+  p->targets = targets;
+  p->flows.assign(targets.size(), net::kInvalidFlow);
+  p->writes.assign(targets.size(), storage::FairQueue::kInvalidOp);
+  p->succeeded.assign(targets.size(), 0);
+  p->outstanding = static_cast<int>(targets.size());
+
+  auto settle = [this, state, p, writer, file, size, attempt, done,
+                 finish](std::size_t i, bool ok) {
+    p->flows[i] = net::kInvalidFlow;
+    p->writes[i] = storage::FairQueue::kInvalidOp;
+    p->succeeded[i] = ok ? 1 : 0;
+    if (!ok) {
+      Datanode* daemon = nn_.datanode(p->targets[i]).daemon;
+      if (daemon != nullptr) daemon->disk().Release(size);
+    }
+    if (--p->outstanding > 0) return;
+    // Pipeline drained: commit the successful replica set.
+    std::vector<DatanodeId> holders;
+    for (std::size_t j = 0; j < p->targets.size(); ++j) {
+      if (p->succeeded[j]) holders.push_back(p->targets[j]);
+    }
+    if (!holders.empty()) {
+      nn_.CommitBlock(p->block, holders);
+      finish(true);
+      return;
+    }
+    nn_.AbandonBlock(p->block);
+    if (attempt + 1 < kMaxWriteAttempts) {
+      RunPipeline(state, writer, file, size, attempt + 1, done);
+    } else {
+      finish(false);
+    }
+  };
+
+  state->abort = [this, p, size] {
+    for (std::size_t i = 0; i < p->targets.size(); ++i) {
+      const bool pending = p->flows[i] != net::kInvalidFlow ||
+                           p->writes[i] != storage::FairQueue::kInvalidOp;
+      if (p->flows[i] != net::kInvalidFlow) net_.CancelFlow(p->flows[i]);
+      Datanode* daemon = nn_.datanode(p->targets[i]).daemon;
+      if (daemon == nullptr) continue;
+      if (p->writes[i] != storage::FairQueue::kInvalidOp) {
+        daemon->disk().Cancel(p->writes[i]);
+      }
+      // Release reservations for hops that completed (the block is being
+      // abandoned) or were still in flight; settled failures already
+      // released theirs.
+      if (p->succeeded[i] || pending) daemon->disk().Release(size);
+    }
+    nn_.AbandonBlock(p->block);
+  };
+
+  // Launch every hop of the pipeline. Hop i streams from the previous
+  // pipeline member (the writer for hop 0); the hop's target then writes
+  // the block to its local disk. Hops run concurrently, approximating
+  // HDFS's cut-through pipelining.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const net::NodeId from =
+        i == 0 ? writer : nn_.datanode(targets[i - 1]).net_node;
+    const net::NodeId to = nn_.datanode(targets[i]).net_node;
+    p->flows[i] = net_.StartFlow(from, to, size, [this, p, i, size, state,
+                                                  settle](bool ok) {
+      if (state->cancelled) return;
+      p->flows[i] = net::kInvalidFlow;
+      if (!ok) {
+        settle(i, false);
+        return;
+      }
+      Datanode* daemon = nn_.datanode(p->targets[i]).daemon;
+      if (daemon == nullptr || !daemon->can_serve()) {
+        settle(i, false);
+        return;
+      }
+      const auto op = daemon->disk().Write(size, [settle, i] {
+        settle(i, true);
+      });
+      if (op == storage::FairQueue::kInvalidOp) {
+        settle(i, false);
+        return;
+      }
+      p->writes[i] = op;
+    });
+  }
+}
+
+}  // namespace hogsim::hdfs

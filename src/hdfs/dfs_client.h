@@ -1,0 +1,92 @@
+// Client-side HDFS operations: replica-ordered block reads and pipelined
+// replicated block writes. Used by map tasks (input reads) and reduce
+// tasks (output writes).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/hdfs/namenode.h"
+#include "src/hdfs/types.h"
+#include "src/net/flow_network.h"
+#include "src/sim/simulation.h"
+
+namespace hogsim::hdfs {
+
+/// Handle used to abandon an in-flight operation when the issuing task is
+/// killed. Cancelling is always safe; the completion callback never fires
+/// afterwards.
+class DfsOp {
+ public:
+  DfsOp() = default;
+  void Cancel();
+  bool active() const { return state_ != nullptr && !state_->finished; }
+
+ private:
+  friend class DfsClient;
+  struct State {
+    bool finished = false;
+    bool cancelled = false;
+    std::function<void()> abort;  // tears down the current flow/disk op
+  };
+  std::shared_ptr<State> state_;
+};
+
+class DfsClient {
+ public:
+  explicit DfsClient(Namenode& namenode);
+
+  using Callback = std::function<void(bool ok)>;
+  /// Read completion: `local` reports whether the winning replica was on
+  /// the reader's own node (locality counters).
+  using ReadCallback = std::function<void(bool ok, bool local)>;
+
+  /// Reads one block from `reader`'s position. Replicas are tried in
+  /// locality order (same node -> same rack -> elsewhere). A replica whose
+  /// datanode accepts connections but cannot serve (zombie) costs
+  /// `read_retry_timeout` before the next is tried; an unreachable replica
+  /// fails fast. `done(false, ...)` after all replicas are exhausted.
+  DfsOp ReadBlock(net::NodeId reader, BlockId block, ReadCallback done);
+
+  /// Writes one `size`-byte block of `file` from `reader`'s position
+  /// through a replication pipeline (client -> dn1 -> dn2 -> ...). Targets
+  /// that fail mid-pipeline are dropped; the block commits with the
+  /// successful prefix. `done(false)` only if no replica at all was
+  /// written (after `max_write_attempts` fresh-target retries).
+  DfsOp WriteBlock(net::NodeId writer, FileId file, Bytes size,
+                   Callback done);
+
+  /// Timed upload of a whole dataset: creates `name` and streams it block
+  /// by block from `writer` through replication pipelines (the
+  /// SRM/GridFTP-style stage-in an OSG user performs before running).
+  /// Blocks upload sequentially, as one client stream would. `done(ok)`
+  /// fires with the resulting file id (kInvalidFile on failure).
+  DfsOp UploadFile(net::NodeId writer, std::string name, Bytes size,
+                   int replication,
+                   std::function<void(bool ok, FileId file)> done);
+
+  /// Total bytes read via remote (non-local) replicas; locality metric.
+  Bytes remote_read_bytes() const { return remote_read_bytes_; }
+  Bytes local_read_bytes() const { return local_read_bytes_; }
+
+  Namenode& namenode() { return nn_; }
+
+ private:
+  struct ReadAttempt;
+  void TryReadReplica(std::shared_ptr<DfsOp::State> state,
+                      net::NodeId reader, BlockId block,
+                      std::vector<DatanodeId> order, std::size_t index,
+                      ReadCallback done);
+  void RunPipeline(std::shared_ptr<DfsOp::State> state, net::NodeId writer,
+                   FileId file, Bytes size, int attempt, Callback done);
+
+  Namenode& nn_;
+  sim::Simulation& sim_;
+  net::FlowNetwork& net_;
+  Bytes remote_read_bytes_ = 0;
+  Bytes local_read_bytes_ = 0;
+  static constexpr int kMaxWriteAttempts = 3;
+};
+
+}  // namespace hogsim::hdfs

@@ -1,0 +1,576 @@
+#include "src/hdfs/namenode.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "src/hdfs/datanode.h"
+#include "src/util/log.h"
+
+namespace hogsim::hdfs {
+
+Namenode::Namenode(sim::Simulation& sim, net::FlowNetwork& net,
+                   net::NodeId master, TopologyScript topology,
+                   std::unique_ptr<BlockPlacementPolicy> policy, Rng rng,
+                   HdfsConfig config)
+    : sim_(sim),
+      net_(net),
+      master_(master),
+      topology_(std::move(topology)),
+      policy_(std::move(policy)),
+      rng_(rng),
+      config_(config) {
+  assert(topology_ && policy_);
+}
+
+Namenode::~Namenode() = default;
+
+void Namenode::Start() {
+  const SimDuration check =
+      std::max<SimDuration>(kSecond, config_.heartbeat_recheck / 6);
+  heartbeat_monitor_.Start(sim_, check, [this] { CheckHeartbeats(); });
+  replication_monitor_.Start(sim_, config_.replication_scan_interval,
+                             [this] { ReplicationScan(); });
+}
+
+void Namenode::Crash() {
+  if (!available_) return;
+  available_ = false;
+  heartbeat_monitor_.Stop();
+  replication_monitor_.Stop();
+  // In-flight namenode-directed transfers die with the daemon.
+  std::vector<std::uint64_t> in_flight;
+  for (const auto& [tid, t] : transfers_) in_flight.push_back(tid);
+  for (std::uint64_t tid : in_flight) {
+    Transfer& t = transfers_.at(tid);
+    if (t.flow != net::kInvalidFlow) net_.CancelFlow(t.flow);
+    if (t.disk_op != storage::FairQueue::kInvalidOp &&
+        datanodes_[t.dst].daemon != nullptr) {
+      datanodes_[t.dst].daemon->disk().Cancel(t.disk_op);
+    }
+    FinishTransfer(tid, false);
+  }
+  HOG_LOG(kWarn, sim_.now(), "namenode") << "CRASHED (file system unavailable)";
+}
+
+void Namenode::Restart() {
+  if (available_) return;
+  available_ = true;
+  // Re-admission: a datanode whose process survived the outage re-registers
+  // and replays its block report — its entry.blocks inventory mirrors its
+  // disk, so the holders map is already truthful. Processes that died
+  // while the master was down are pruned now.
+  for (DatanodeId id = 0; id < datanodes_.size(); ++id) {
+    DatanodeEntry& entry = datanodes_[id];
+    const bool survived =
+        entry.daemon != nullptr && entry.daemon->process_alive();
+    if (survived) {
+      entry.last_heartbeat = sim_.now();
+      if (!entry.alive) {
+        entry.alive = true;
+        ++live_datanodes_;
+      }
+    } else if (entry.alive) {
+      DeclareDead(id);
+    }
+  }
+  // Recompute the needed-replication queue from scratch.
+  for (const auto& [block, info] : blocks_) {
+    (void)info;
+    UpdateNeeded(block);
+  }
+  Start();
+  HOG_LOG(kWarn, sim_.now(), "namenode")
+      << "restarted; " << live_datanodes_ << " datanodes re-admitted";
+}
+
+// ---- Datanode lifecycle ----------------------------------------------------
+
+DatanodeId Namenode::RegisterDatanode(Datanode& daemon) {
+  DatanodeEntry entry;
+  entry.daemon = &daemon;
+  entry.hostname = daemon.hostname();
+  entry.rack = topology_(daemon.hostname());
+  entry.net_node = daemon.net_node();
+  entry.alive = true;
+  entry.last_heartbeat = sim_.now();
+  datanodes_.push_back(std::move(entry));
+  const auto id = static_cast<DatanodeId>(datanodes_.size() - 1);
+  by_net_node_[daemon.net_node()] = id;
+  ++live_datanodes_;
+  return id;
+}
+
+void Namenode::Heartbeat(DatanodeId id) {
+  if (!available_ || id >= datanodes_.size()) return;
+  DatanodeEntry& entry = datanodes_[id];
+  entry.last_heartbeat = sim_.now();
+  if (!entry.alive) {
+    // Late revival after a false-positive timeout: the node re-registers.
+    // Its block report is not replayed; any still-held replicas will be
+    // re-created by the replication monitor, which is conservative but
+    // safe.
+    entry.alive = true;
+    ++live_datanodes_;
+  }
+}
+
+void Namenode::CheckHeartbeats() {
+  const SimTime now = sim_.now();
+  for (DatanodeId id = 0; id < datanodes_.size(); ++id) {
+    DatanodeEntry& entry = datanodes_[id];
+    if (entry.alive &&
+        now - entry.last_heartbeat > config_.heartbeat_recheck) {
+      DeclareDead(id);
+    }
+  }
+}
+
+void Namenode::DeclareDead(DatanodeId id) {
+  DatanodeEntry& entry = datanodes_[id];
+  if (!entry.alive) return;
+  entry.alive = false;
+  --live_datanodes_;
+  ++declared_dead_;
+  HOG_LOG(kInfo, sim_.now(), "namenode")
+      << entry.hostname << " declared dead; " << entry.blocks.size()
+      << " replicas lost";
+  const std::unordered_set<BlockId> lost = std::move(entry.blocks);
+  entry.blocks.clear();
+  for (BlockId b : lost) {
+    auto it = blocks_.find(b);
+    if (it == blocks_.end()) continue;
+    it->second.holders.erase(id);
+    if (it->second.holders.empty() && it->second.pending_replications == 0 &&
+        on_block_missing_) {
+      on_block_missing_(b);
+    }
+    UpdateNeeded(b);
+  }
+}
+
+DatanodeId Namenode::DatanodeAt(net::NodeId node) const {
+  auto it = by_net_node_.find(node);
+  if (it == by_net_node_.end()) return kInvalidDatanode;
+  return datanodes_[it->second].alive ? it->second : kInvalidDatanode;
+}
+
+// ---- File namespace --------------------------------------------------------
+
+FileId Namenode::CreateFile(std::string name, int replication) {
+  FileInfo info;
+  info.name = std::move(name);
+  info.replication =
+      replication > 0 ? replication : config_.default_replication;
+  files_.push_back(std::move(info));
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+FileId Namenode::ImportFile(std::string name, Bytes size, int replication) {
+  const FileId file = CreateFile(std::move(name), replication);
+  const int rep = files_[file].replication;
+  Bytes remaining = size;
+  while (remaining > 0) {
+    const Bytes block_size = std::min(remaining, config_.block_size);
+    remaining -= block_size;
+    const BlockId block = AllocateBlock(file, block_size);
+    const std::vector<DatanodeId> targets =
+        policy_->ChooseTargets(rep, kInvalidDatanode, {}, block_size, *this,
+                               rng_);
+    if (targets.empty()) {
+      throw std::runtime_error("ImportFile: no datanode can hold a block of " +
+                               files_[file].name);
+    }
+    for (DatanodeId t : targets) {
+      const bool ok = datanodes_[t].daemon->disk().Reserve(block_size);
+      assert(ok);  // policy only proposes nodes with space
+      (void)ok;
+    }
+    CommitBlock(block, targets);
+  }
+  return file;
+}
+
+void Namenode::DeleteFile(FileId file) {
+  assert(file < files_.size());
+  FileInfo& info = files_[file];
+  if (info.deleted) return;
+  info.deleted = true;
+  for (BlockId b : info.blocks) {
+    auto it = blocks_.find(b);
+    if (it == blocks_.end()) continue;
+    for (DatanodeId dn : it->second.holders) {
+      DatanodeEntry& entry = datanodes_[dn];
+      entry.blocks.erase(b);
+      if (entry.daemon != nullptr) entry.daemon->disk().Release(it->second.size);
+    }
+    needed_.erase(b);
+    blocks_.erase(it);
+  }
+  info.blocks.clear();
+}
+
+std::vector<BlockLocation> Namenode::GetFileBlocks(FileId file) const {
+  assert(file < files_.size());
+  std::vector<BlockLocation> out;
+  for (BlockId b : files_[file].blocks) {
+    auto it = blocks_.find(b);
+    if (it == blocks_.end()) continue;
+    BlockLocation loc;
+    loc.block = b;
+    loc.size = it->second.size;
+    // Deterministic replica order (holders is a hash set).
+    std::vector<DatanodeId> holders(it->second.holders.begin(),
+                                    it->second.holders.end());
+    std::sort(holders.begin(), holders.end());
+    for (DatanodeId dn : holders) {
+      if (!datanodes_[dn].alive) continue;
+      loc.datanodes.push_back(dn);
+      loc.net_nodes.push_back(datanodes_[dn].net_node);
+      loc.racks.push_back(datanodes_[dn].rack);
+    }
+    out.push_back(std::move(loc));
+  }
+  return out;
+}
+
+Bytes Namenode::FileSize(FileId file) const {
+  assert(file < files_.size());
+  Bytes total = 0;
+  for (BlockId b : files_[file].blocks) {
+    auto it = blocks_.find(b);
+    if (it != blocks_.end()) total += it->second.size;
+  }
+  return total;
+}
+
+int Namenode::FileReplication(FileId file) const {
+  assert(file < files_.size());
+  return files_[file].replication;
+}
+
+const std::string& Namenode::FileName(FileId file) const {
+  assert(file < files_.size());
+  return files_[file].name;
+}
+
+bool Namenode::FileExists(FileId file) const {
+  return file < files_.size() && !files_[file].deleted;
+}
+
+// ---- Block-level operations -------------------------------------------------
+
+BlockId Namenode::AllocateBlock(FileId file, Bytes size) {
+  assert(file < files_.size() && !files_[file].deleted);
+  const BlockId id = next_block_++;
+  BlockInfo info;
+  info.file = file;
+  info.size = size;
+  info.replication = files_[file].replication;
+  blocks_.emplace(id, std::move(info));
+  files_[file].blocks.push_back(id);
+  return id;
+}
+
+std::vector<DatanodeId> Namenode::ChooseTargets(
+    int count, DatanodeId writer, const std::vector<DatanodeId>& exclude,
+    Bytes size) {
+  return policy_->ChooseTargets(count, writer, exclude, size, *this, rng_);
+}
+
+void Namenode::CommitBlock(BlockId block,
+                           const std::vector<DatanodeId>& holders) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;  // file deleted mid-write
+  it->second.committed = true;
+  for (DatanodeId dn : holders) {
+    it->second.holders.insert(dn);
+    datanodes_[dn].blocks.insert(block);
+  }
+  UpdateNeeded(block);
+}
+
+void Namenode::AbandonBlock(BlockId block) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  assert(it->second.holders.empty());
+  auto& file_blocks = files_[it->second.file].blocks;
+  std::erase(file_blocks, block);
+  needed_.erase(block);
+  blocks_.erase(it);
+}
+
+void Namenode::AddReplica(BlockId block, DatanodeId dn) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  it->second.holders.insert(dn);
+  datanodes_[dn].blocks.insert(block);
+  UpdateNeeded(block);
+}
+
+void Namenode::RemoveReplica(BlockId block, DatanodeId dn) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  if (it->second.holders.erase(dn) == 0) return;
+  DatanodeEntry& entry = datanodes_[dn];
+  entry.blocks.erase(block);
+  if (entry.daemon != nullptr) entry.daemon->disk().Release(it->second.size);
+  UpdateNeeded(block);
+}
+
+std::vector<DatanodeId> Namenode::BlockHolders(BlockId block) const {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return {};
+  std::vector<DatanodeId> out;
+  for (DatanodeId dn : it->second.holders) {
+    if (datanodes_[dn].alive) out.push_back(dn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Bytes Namenode::BlockSize(BlockId block) const {
+  auto it = blocks_.find(block);
+  return it != blocks_.end() ? it->second.size : 0;
+}
+
+// ---- ClusterView -------------------------------------------------------------
+
+std::vector<DatanodeId> Namenode::WritableDatanodes(Bytes size) const {
+  std::vector<DatanodeId> out;
+  for (DatanodeId id = 0; id < datanodes_.size(); ++id) {
+    const DatanodeEntry& e = datanodes_[id];
+    if (e.alive && !e.decommissioning && e.daemon != nullptr &&
+        e.daemon->can_serve() && e.daemon->disk().free() >= size) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void Namenode::StartDecommission(DatanodeId dn) {
+  DatanodeEntry& entry = datanodes_[dn];
+  if (entry.decommissioning) return;
+  entry.decommissioning = true;
+  // Every block it holds no longer counts toward its replication target;
+  // the monitor copies them to healthy nodes while this one still serves.
+  for (BlockId b : entry.blocks) UpdateNeeded(b);
+  HOG_LOG(kInfo, sim_.now(), "namenode")
+      << entry.hostname << " decommissioning (" << entry.blocks.size()
+      << " replicas to evacuate)";
+}
+
+bool Namenode::DecommissionReady(DatanodeId dn) const {
+  const DatanodeEntry& entry = datanodes_[dn];
+  if (!entry.decommissioning) return false;
+  for (BlockId b : entry.blocks) {
+    auto it = blocks_.find(b);
+    if (it == blocks_.end()) continue;
+    int healthy = 0;
+    for (DatanodeId holder : it->second.holders) {
+      const DatanodeEntry& h = datanodes_[holder];
+      if (h.alive && !h.decommissioning) ++healthy;
+    }
+    if (healthy < it->second.replication) return false;
+  }
+  return true;
+}
+
+const std::string& Namenode::RackOf(DatanodeId id) const {
+  assert(id < datanodes_.size());
+  return datanodes_[id].rack;
+}
+
+std::size_t Namenode::missing_blocks() const {
+  std::size_t count = 0;
+  for (const auto& [id, info] : blocks_) {
+    if (!info.committed) continue;
+    bool any = false;
+    for (DatanodeId dn : info.holders) any |= datanodes_[dn].alive;
+    if (!any) ++count;
+  }
+  return count;
+}
+
+// ---- Replication monitor ------------------------------------------------------
+
+bool Namenode::Serving(DatanodeId id) const {
+  const DatanodeEntry& e = datanodes_[id];
+  return e.alive && e.daemon != nullptr && e.daemon->can_serve();
+}
+
+void Namenode::UpdateNeeded(BlockId block) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) {
+    needed_.erase(block);
+    return;
+  }
+  const BlockInfo& info = it->second;
+  if (!info.committed) return;
+  // Replicas on decommissioning nodes do not count toward the target.
+  int counted = 0;
+  for (DatanodeId dn : info.holders) {
+    if (!datanodes_[dn].decommissioning) ++counted;
+  }
+  const int effective = counted + info.pending_replications;
+  if (effective < info.replication && !info.holders.empty()) {
+    needed_.insert(block);
+  } else {
+    needed_.erase(block);
+  }
+}
+
+void Namenode::ReplicationScan() {
+  AbortStaleTransfers();
+  // Bounded work per scan keeps large failure storms O(1) per tick; the
+  // queue drains over successive scans, throttled by per-node streams.
+  constexpr std::size_t kMaxAttemptsPerScan = 512;
+  std::vector<BlockId> batch;
+  batch.reserve(std::min(needed_.size(), kMaxAttemptsPerScan));
+  for (BlockId b : needed_) {
+    if (batch.size() >= kMaxAttemptsPerScan) break;
+    batch.push_back(b);
+  }
+  for (BlockId b : batch) TryScheduleReplication(b);
+}
+
+bool Namenode::TryScheduleReplication(BlockId block) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;
+  BlockInfo& info = it->second;
+  int counted = 0;
+  for (DatanodeId dn : info.holders) {
+    if (!datanodes_[dn].decommissioning) ++counted;
+  }
+  const int deficit = info.replication - counted - info.pending_replications;
+  if (deficit <= 0 || info.holders.empty()) return false;
+
+  // Source: a serving replica with a free outbound stream.
+  DatanodeId src = kInvalidDatanode;
+  std::vector<DatanodeId> holders(info.holders.begin(), info.holders.end());
+  std::sort(holders.begin(), holders.end());
+  for (DatanodeId dn : holders) {
+    if (Serving(dn) && datanodes_[dn].repl_out < config_.max_replication_streams) {
+      src = dn;
+      break;
+    }
+  }
+  if (src == kInvalidDatanode) return false;
+
+  // Target: placement policy, excluding current + pending holders, limited
+  // to nodes with a free inbound stream.
+  std::vector<DatanodeId> exclude = holders;
+  const auto [p_begin, p_end] = pending_targets_.equal_range(block);
+  for (auto it2 = p_begin; it2 != p_end; ++it2) {
+    exclude.push_back(it2->second);
+  }
+  const std::vector<DatanodeId> targets =
+      policy_->ChooseTargets(1, kInvalidDatanode, exclude, info.size, *this,
+                             rng_);
+  if (targets.empty()) return false;
+  const DatanodeId dst = targets.front();
+  if (datanodes_[dst].repl_in >= config_.max_replication_streams) return false;
+  if (!datanodes_[dst].daemon->disk().Reserve(info.size)) return false;
+
+  const std::uint64_t tid = next_transfer_++;
+  Transfer transfer{block, src, dst, net::kInvalidFlow,
+                    storage::FairQueue::kInvalidOp};
+  ++datanodes_[src].repl_out;
+  ++datanodes_[dst].repl_in;
+  ++info.pending_replications;
+  pending_targets_.emplace(block, dst);
+  UpdateNeeded(block);
+
+  transfer.flow = net_.StartFlow(
+      datanodes_[src].net_node, datanodes_[dst].net_node, info.size,
+      [this, tid](bool ok) {
+        auto t = transfers_.find(tid);
+        if (t == transfers_.end()) return;
+        t->second.flow = net::kInvalidFlow;
+        if (!ok) {
+          FinishTransfer(tid, false);
+          return;
+        }
+        // Write the received block to the target's disk.
+        Datanode* dst_daemon = datanodes_[t->second.dst].daemon;
+        Bytes size = BlockSize(t->second.block);
+        if (dst_daemon == nullptr || !dst_daemon->can_serve()) {
+          FinishTransfer(tid, false);
+          return;
+        }
+        const auto op = dst_daemon->disk().Write(
+            size, [this, tid] { FinishTransfer(tid, true); });
+        if (op == storage::FairQueue::kInvalidOp) {
+          FinishTransfer(tid, false);
+          return;
+        }
+        t->second.disk_op = op;
+      });
+  transfers_.emplace(tid, transfer);
+  return true;
+}
+
+void Namenode::FinishTransfer(std::uint64_t transfer_id, bool ok) {
+  auto it = transfers_.find(transfer_id);
+  if (it == transfers_.end()) return;
+  const Transfer t = it->second;
+  transfers_.erase(it);
+  {
+    auto [p_begin, p_end] = pending_targets_.equal_range(t.block);
+    for (auto pit = p_begin; pit != p_end; ++pit) {
+      if (pit->second == t.dst) {
+        pending_targets_.erase(pit);
+        break;
+      }
+    }
+  }
+
+  --datanodes_[t.src].repl_out;
+  --datanodes_[t.dst].repl_in;
+
+  auto bit = blocks_.find(t.block);
+  const Bytes size = bit != blocks_.end() ? bit->second.size : 0;
+  if (bit != blocks_.end()) {
+    --bit->second.pending_replications;
+  }
+  const bool block_live = bit != blocks_.end();
+  const bool dst_ok = datanodes_[t.dst].alive &&
+                      datanodes_[t.dst].daemon != nullptr &&
+                      datanodes_[t.dst].daemon->can_serve();
+  if (ok && block_live && dst_ok) {
+    ++replications_completed_;
+    replication_bytes_ += size;
+    AddReplica(t.block, t.dst);
+  } else {
+    // Return the reservation; a dead target's disk is gone anyway but the
+    // accounting keeps the object consistent.
+    if (datanodes_[t.dst].daemon != nullptr && size > 0) {
+      datanodes_[t.dst].daemon->disk().Release(size);
+    }
+    if (block_live) UpdateNeeded(t.block);
+  }
+}
+
+void Namenode::AbortStaleTransfers() {
+  std::vector<std::uint64_t> stale;
+  for (const auto& [tid, t] : transfers_) {
+    const Datanode* src = datanodes_[t.src].daemon;
+    const Datanode* dst = datanodes_[t.dst].daemon;
+    const bool src_gone = src == nullptr || !src->can_serve();
+    const bool dst_gone = dst == nullptr || !dst->process_alive();
+    if (src_gone || dst_gone || !blocks_.contains(t.block)) {
+      stale.push_back(tid);
+    }
+  }
+  for (std::uint64_t tid : stale) {
+    Transfer& t = transfers_.at(tid);
+    if (t.flow != net::kInvalidFlow) net_.CancelFlow(t.flow);
+    if (t.disk_op != storage::FairQueue::kInvalidOp &&
+        datanodes_[t.dst].daemon != nullptr) {
+      datanodes_[t.dst].daemon->disk().Cancel(t.disk_op);
+    }
+    FinishTransfer(tid, false);
+  }
+}
+
+}  // namespace hogsim::hdfs

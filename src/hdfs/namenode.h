@@ -1,0 +1,239 @@
+// The HDFS master: file namespace, block map, heartbeat-driven failure
+// detection, and namenode-directed re-replication.
+//
+// In HOG the namenode lives on a stable central server (§III.B); worker
+// datanodes register over the WAN, and their failure is detected purely by
+// heartbeat silence. Lowering `heartbeat_recheck` from the traditional
+// ~15 minutes to 30 seconds is one of the paper's three key modifications.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/hdfs/placement.h"
+#include "src/hdfs/topology.h"
+#include "src/hdfs/types.h"
+#include "src/net/flow_network.h"
+#include "src/sim/simulation.h"
+#include "src/storage/disk.h"
+#include "src/util/rng.h"
+
+namespace hogsim::hdfs {
+
+class Datanode;
+
+class Namenode final : public ClusterView {
+ public:
+  Namenode(sim::Simulation& sim, net::FlowNetwork& net, net::NodeId master,
+           TopologyScript topology, std::unique_ptr<BlockPlacementPolicy> policy,
+           Rng rng, HdfsConfig config);
+  ~Namenode() override;
+
+  /// Arms the heartbeat-recheck and replication monitors.
+  void Start();
+
+  // ---- Master availability (§III.B: the namenode is a single point of
+  // failure on HOG's central server; while it is down the file system is
+  // unavailable, but no data is lost) ------------------------------------
+
+  /// Takes the namenode down: monitors stop, in-flight re-replications
+  /// abort, and clients block until Restart().
+  void Crash();
+
+  /// Brings the namenode back. Surviving datanodes are re-admitted with
+  /// their block inventories (the block-report path); nodes that died
+  /// during the outage are pruned and their blocks queued for
+  /// re-replication.
+  void Restart();
+
+  bool available() const { return available_; }
+
+  // ---- Datanode lifecycle (invoked by Datanode daemons) ----------------
+
+  DatanodeId RegisterDatanode(Datanode& daemon);
+  void Heartbeat(DatanodeId id);
+
+  /// Per-datanode view kept by the namenode.
+  struct DatanodeEntry {
+    Datanode* daemon = nullptr;  // null once the process is gone
+    std::string hostname;
+    std::string rack;
+    net::NodeId net_node = net::kInvalidNode;
+    bool alive = false;  // namenode's belief, driven by heartbeats
+    bool decommissioning = false;
+    SimTime last_heartbeat = 0;
+    std::unordered_set<BlockId> blocks;
+    int repl_in = 0;   // active re-replication transfers sinking here
+    int repl_out = 0;  // ... sourcing from here
+  };
+
+  const DatanodeEntry& datanode(DatanodeId id) const {
+    return datanodes_[id];
+  }
+  std::size_t datanode_count() const { return datanodes_.size(); }
+  int live_datanodes() const { return live_datanodes_; }
+
+  /// Locality lookup: the registered, alive datanode at a network endpoint
+  /// (kInvalidDatanode if none).
+  DatanodeId DatanodeAt(net::NodeId node) const;
+
+  // ---- File namespace ----------------------------------------------------
+
+  /// Creates an empty file; blocks are appended by writers.
+  FileId CreateFile(std::string name, int replication = -1);
+
+  /// Pre-loads a file of `size` bytes: blocks are placed and space is
+  /// reserved instantly (the paper uploads input data before timing
+  /// starts). Throws std::runtime_error if no replica of some block can be
+  /// placed at all.
+  FileId ImportFile(std::string name, Bytes size, int replication = -1);
+
+  /// Deletes a file, releasing replica space on live datanodes.
+  void DeleteFile(FileId file);
+
+  std::vector<BlockLocation> GetFileBlocks(FileId file) const;
+  Bytes FileSize(FileId file) const;
+  int FileReplication(FileId file) const;
+  const std::string& FileName(FileId file) const;
+  bool FileExists(FileId file) const;
+
+  // ---- Block-level operations (used by DfsClient write pipelines) -------
+
+  /// Registers a new block of a file; holders arrive via CommitBlock.
+  BlockId AllocateBlock(FileId file, Bytes size);
+
+  /// Chooses pipeline targets for a new block using the placement policy.
+  std::vector<DatanodeId> ChooseTargets(int count, DatanodeId writer,
+                                        const std::vector<DatanodeId>& exclude,
+                                        Bytes size);
+
+  /// Finalizes a block with the datanodes that actually stored it. Space
+  /// must already be reserved by the writer. Under-replicated blocks are
+  /// queued for namenode-directed replication.
+  void CommitBlock(BlockId block, const std::vector<DatanodeId>& holders);
+
+  /// Drops a never-committed block.
+  void AbandonBlock(BlockId block);
+
+  /// Adds a replica (completed re-replication or balancer move).
+  void AddReplica(BlockId block, DatanodeId dn);
+
+  // ---- Decommissioning (graceful shrink, cf. §VI) -----------------------
+
+  /// Excludes the node from new placements and schedules its replicas to
+  /// be copied elsewhere. The node keeps serving reads meanwhile.
+  void StartDecommission(DatanodeId dn);
+
+  /// True once every block on a decommissioning node has enough replicas
+  /// on non-decommissioning nodes — safe to shut it down.
+  bool DecommissionReady(DatanodeId dn) const;
+
+  /// Removes a replica (balancer move source side); space is released.
+  void RemoveReplica(BlockId block, DatanodeId dn);
+
+  /// Live, serving replica holders of a block (namenode view).
+  std::vector<DatanodeId> BlockHolders(BlockId block) const;
+  Bytes BlockSize(BlockId block) const;
+  bool BlockExists(BlockId block) const {
+    return blocks_.contains(block);
+  }
+
+  // ---- ClusterView --------------------------------------------------------
+
+  std::vector<DatanodeId> WritableDatanodes(Bytes size) const override;
+  const std::string& RackOf(DatanodeId id) const override;
+
+  // ---- Introspection / metrics -------------------------------------------
+
+  std::size_t under_replicated() const { return needed_.size(); }
+  /// Blocks with zero live replicas right now.
+  std::size_t missing_blocks() const;
+  std::uint64_t replications_completed() const {
+    return replications_completed_;
+  }
+  Bytes replication_bytes() const { return replication_bytes_; }
+  std::uint64_t datanodes_declared_dead() const { return declared_dead_; }
+
+  net::NodeId master_node() const { return master_; }
+  const HdfsConfig& config() const { return config_; }
+  const BlockPlacementPolicy& policy() const { return *policy_; }
+  sim::Simulation& simulation() { return sim_; }
+  net::FlowNetwork& network() { return net_; }
+  Rng& rng() { return rng_; }
+
+  /// Fired whenever a block transitions to zero live replicas.
+  void set_on_block_missing(std::function<void(BlockId)> cb) {
+    on_block_missing_ = std::move(cb);
+  }
+
+ private:
+  struct BlockInfo {
+    FileId file = kInvalidFile;
+    Bytes size = 0;
+    int replication = 3;
+    std::unordered_set<DatanodeId> holders;
+    int pending_replications = 0;
+    bool committed = false;
+  };
+
+  struct FileInfo {
+    std::string name;
+    int replication = 3;
+    std::vector<BlockId> blocks;
+    bool deleted = false;
+  };
+
+  struct Transfer {
+    BlockId block;
+    DatanodeId src;
+    DatanodeId dst;
+    net::FlowId flow = net::kInvalidFlow;
+    storage::FairQueue::OpId disk_op = storage::FairQueue::kInvalidOp;
+  };
+
+  void CheckHeartbeats();
+  void DeclareDead(DatanodeId id);
+  void UpdateNeeded(BlockId block);
+  void ReplicationScan();
+  bool TryScheduleReplication(BlockId block);
+  void FinishTransfer(std::uint64_t transfer_id, bool ok);
+  void AbortStaleTransfers();
+  bool Serving(DatanodeId id) const;
+
+  sim::Simulation& sim_;
+  net::FlowNetwork& net_;
+  net::NodeId master_;
+  TopologyScript topology_;
+  std::unique_ptr<BlockPlacementPolicy> policy_;
+  Rng rng_;
+  HdfsConfig config_;
+
+  std::vector<DatanodeEntry> datanodes_;
+  std::unordered_map<net::NodeId, DatanodeId> by_net_node_;
+  std::vector<FileInfo> files_;
+  std::unordered_map<BlockId, BlockInfo> blocks_;
+  BlockId next_block_ = 1;
+
+  std::set<BlockId> needed_;  // under-replicated queue (ordered: determinism)
+  std::unordered_map<std::uint64_t, Transfer> transfers_;
+  /// In-flight re-replication destinations per block (exclusion lookups).
+  std::unordered_multimap<BlockId, DatanodeId> pending_targets_;
+  std::uint64_t next_transfer_ = 1;
+
+  sim::PeriodicTimer heartbeat_monitor_;
+  sim::PeriodicTimer replication_monitor_;
+
+  bool available_ = true;
+  int live_datanodes_ = 0;
+  std::uint64_t replications_completed_ = 0;
+  Bytes replication_bytes_ = 0;
+  std::uint64_t declared_dead_ = 0;
+  std::function<void(BlockId)> on_block_missing_;
+};
+
+}  // namespace hogsim::hdfs

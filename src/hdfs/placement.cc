@@ -1,0 +1,161 @@
+#include "src/hdfs/placement.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hogsim::hdfs {
+namespace {
+
+/// A candidate pool: one WritableDatanodes scan per ChooseTargets call,
+/// with O(1) swap-removal as replicas are chosen.
+class Pool {
+ public:
+  Pool(const ClusterView& view, Bytes size,
+       const std::vector<DatanodeId>& exclude)
+      : nodes_(view.WritableDatanodes(size)) {
+    if (!exclude.empty()) {
+      const std::unordered_set<DatanodeId> taken(exclude.begin(),
+                                                 exclude.end());
+      std::erase_if(nodes_, [&](DatanodeId id) { return taken.contains(id); });
+    }
+  }
+
+  bool empty() const { return nodes_.empty(); }
+
+  /// Removes and returns a uniformly random candidate satisfying `pred`;
+  /// kInvalidDatanode when none qualifies.
+  template <typename Pred>
+  DatanodeId TakeRandom(Rng& rng, Pred pred) {
+    // Collect matching indices, pick one, swap-remove.
+    matches_.clear();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (pred(nodes_[i])) matches_.push_back(i);
+    }
+    if (matches_.empty()) return kInvalidDatanode;
+    const std::size_t pick = matches_[static_cast<std::size_t>(rng.UniformInt(
+        0, static_cast<std::int64_t>(matches_.size()) - 1))];
+    const DatanodeId id = nodes_[pick];
+    nodes_[pick] = nodes_.back();
+    nodes_.pop_back();
+    return id;
+  }
+
+  DatanodeId TakeRandom(Rng& rng) {
+    return TakeRandom(rng, [](DatanodeId) { return true; });
+  }
+
+  /// Removes a specific node if present; true on success.
+  bool TakeExact(DatanodeId id) {
+    const auto it = std::find(nodes_.begin(), nodes_.end(), id);
+    if (it == nodes_.end()) return false;
+    *it = nodes_.back();
+    nodes_.pop_back();
+    return true;
+  }
+
+ private:
+  std::vector<DatanodeId> nodes_;
+  std::vector<std::size_t> matches_;
+};
+
+}  // namespace
+
+std::vector<DatanodeId> DefaultPlacement::ChooseTargets(
+    int count, DatanodeId writer, const std::vector<DatanodeId>& exclude,
+    Bytes size, const ClusterView& view, Rng& rng) const {
+  std::vector<DatanodeId> result;
+  Pool pool(view, size, exclude);
+
+  // Replica 1: the writer's node when it is a usable datanode.
+  {
+    DatanodeId first = kInvalidDatanode;
+    if (writer != kInvalidDatanode && pool.TakeExact(writer)) {
+      first = writer;
+    } else {
+      first = pool.TakeRandom(rng);
+    }
+    if (first == kInvalidDatanode) return result;
+    result.push_back(first);
+  }
+  if (static_cast<int>(result.size()) >= count) return result;
+
+  const std::string& first_rack = view.RackOf(result.front());
+
+  // Replica 2: a different rack, when one exists.
+  {
+    DatanodeId pick = pool.TakeRandom(rng, [&](DatanodeId id) {
+      return view.RackOf(id) != first_rack;
+    });
+    if (pick == kInvalidDatanode) pick = pool.TakeRandom(rng);
+    if (pick == kInvalidDatanode) return result;
+    result.push_back(pick);
+  }
+  if (static_cast<int>(result.size()) >= count) return result;
+
+  // Replica 3: the same rack as replica 2 (guards the first rack's loss
+  // while keeping one intra-rack copy for cheap reads).
+  {
+    const std::string& second_rack = view.RackOf(result[1]);
+    DatanodeId pick = pool.TakeRandom(rng, [&](DatanodeId id) {
+      return view.RackOf(id) == second_rack;
+    });
+    if (pick == kInvalidDatanode) pick = pool.TakeRandom(rng);
+    if (pick == kInvalidDatanode) return result;
+    result.push_back(pick);
+  }
+
+  // Remaining replicas: uniformly random.
+  while (static_cast<int>(result.size()) < count) {
+    const DatanodeId pick = pool.TakeRandom(rng);
+    if (pick == kInvalidDatanode) break;
+    result.push_back(pick);
+  }
+  return result;
+}
+
+std::vector<DatanodeId> SiteAwarePlacement::ChooseTargets(
+    int count, DatanodeId writer, const std::vector<DatanodeId>& exclude,
+    Bytes size, const ClusterView& view, Rng& rng) const {
+  std::vector<DatanodeId> result;
+  Pool pool(view, size, exclude);
+  std::unordered_set<std::string> sites_used;
+  for (DatanodeId id : exclude) sites_used.insert(view.RackOf(id));
+
+  // Replica 1: writer-local for map-output locality.
+  {
+    DatanodeId first = kInvalidDatanode;
+    if (writer != kInvalidDatanode && pool.TakeExact(writer)) {
+      first = writer;
+    } else {
+      first = pool.TakeRandom(rng);
+    }
+    if (first == kInvalidDatanode) return result;
+    result.push_back(first);
+    sites_used.insert(view.RackOf(first));
+  }
+
+  // Remaining replicas: always prefer a site not covered yet, so the block
+  // survives any single-site (and with replication 10, most multi-site)
+  // failures. Once every site holds a copy, fall back to any node.
+  while (static_cast<int>(result.size()) < count) {
+    DatanodeId pick = pool.TakeRandom(rng, [&](DatanodeId id) {
+      return !sites_used.contains(view.RackOf(id));
+    });
+    if (pick == kInvalidDatanode) pick = pool.TakeRandom(rng);
+    if (pick == kInvalidDatanode) break;
+    result.push_back(pick);
+    sites_used.insert(view.RackOf(pick));
+  }
+  return result;
+}
+
+std::unique_ptr<BlockPlacementPolicy> MakeDefaultPlacement() {
+  return std::make_unique<DefaultPlacement>();
+}
+
+std::unique_ptr<BlockPlacementPolicy> MakeSiteAwarePlacement() {
+  return std::make_unique<SiteAwarePlacement>();
+}
+
+}  // namespace hogsim::hdfs

@@ -1,0 +1,73 @@
+// Block-placement policies.
+//
+// DefaultPlacement is Hadoop 0.20's rack-aware rule: first replica on the
+// writer's node, second on a different rack, third beside the second, the
+// rest random. SiteAwarePlacement is HOG's extension (§III.B.1): racks are
+// sites, and surplus replicas (HOG runs replication 10) are spread across
+// as many distinct sites as possible to create multi-institution failure
+// domains.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hdfs/types.h"
+#include "src/util/rng.h"
+
+namespace hogsim::hdfs {
+
+/// Read-only view of datanode state that placement needs; implemented by
+/// the Namenode.
+class ClusterView {
+ public:
+  virtual ~ClusterView() = default;
+
+  /// All datanodes able to accept a new replica of `size` bytes.
+  virtual std::vector<DatanodeId> WritableDatanodes(Bytes size) const = 0;
+
+  /// Failure domain of a datanode (topology-script output).
+  virtual const std::string& RackOf(DatanodeId id) const = 0;
+};
+
+class BlockPlacementPolicy {
+ public:
+  virtual ~BlockPlacementPolicy() = default;
+
+  /// Chooses up to `count` distinct targets for new replicas of a block.
+  /// `writer` is the datanode co-located with the writing client
+  /// (kInvalidDatanode for external clients); `exclude` lists nodes that
+  /// already hold or are receiving the block. May return fewer than
+  /// `count` when the cluster is too small.
+  virtual std::vector<DatanodeId> ChooseTargets(
+      int count, DatanodeId writer, const std::vector<DatanodeId>& exclude,
+      Bytes size, const ClusterView& view, Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Hadoop 0.20 rack-aware placement.
+class DefaultPlacement final : public BlockPlacementPolicy {
+ public:
+  std::vector<DatanodeId> ChooseTargets(int count, DatanodeId writer,
+                                        const std::vector<DatanodeId>& exclude,
+                                        Bytes size, const ClusterView& view,
+                                        Rng& rng) const override;
+  std::string name() const override { return "default-rack-aware"; }
+};
+
+/// HOG site-aware placement: maximizes the number of distinct sites
+/// covered by a block's replica set.
+class SiteAwarePlacement final : public BlockPlacementPolicy {
+ public:
+  std::vector<DatanodeId> ChooseTargets(int count, DatanodeId writer,
+                                        const std::vector<DatanodeId>& exclude,
+                                        Bytes size, const ClusterView& view,
+                                        Rng& rng) const override;
+  std::string name() const override { return "hog-site-aware"; }
+};
+
+std::unique_ptr<BlockPlacementPolicy> MakeDefaultPlacement();
+std::unique_ptr<BlockPlacementPolicy> MakeSiteAwarePlacement();
+
+}  // namespace hogsim::hdfs

@@ -1,0 +1,40 @@
+// Network-topology resolution: maps a datanode hostname to a failure-domain
+// ("rack") string, mirroring Hadoop's topology.script.file.name hook.
+//
+// The dedicated cluster uses a fixed single rack ("/default-rack", as the
+// paper configures its 30 nodes as one rack). HOG replaces the script with
+// site awareness: the rack of a worker is derived from the last two labels
+// of its DNS name (§III.B.1), so every OSG site forms one failure domain.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/util/strings.h"
+
+namespace hogsim::hdfs {
+
+/// Resolves a hostname to a rack path. Executed whenever a new node is
+/// discovered by the namenode or the jobtracker.
+using TopologyScript = std::function<std::string(std::string_view hostname)>;
+
+/// Stock Hadoop with no script configured: everything on one rack.
+inline TopologyScript FlatTopology() {
+  return [](std::string_view) { return std::string("/default-rack"); };
+}
+
+/// A fixed assignment by explicit rack name (used by the dedicated-cluster
+/// baseline when modeling multiple physical racks).
+inline TopologyScript StaticTopology(std::string rack) {
+  return [rack = std::move(rack)](std::string_view) { return rack; };
+}
+
+/// HOG's site-awareness script: rack = "/" + last-two-DNS-labels.
+inline TopologyScript SiteAwarenessScript() {
+  return [](std::string_view hostname) {
+    return "/" + SiteFromHostname(hostname);
+  };
+}
+
+}  // namespace hogsim::hdfs

@@ -1,0 +1,136 @@
+// The paper's system: Hadoop On the Grid.
+//
+// A HogCluster wires together the three architecture components of §III:
+//  1. Grid submission & execution — Condor/GlideinWMS-style glidein
+//     management over multi-site opportunistic resources.
+//  2. HDFS on the grid — namenode on a stable central server, site-aware
+//     placement, replication 10, 30 s heartbeat recheck, and the zombie-
+//     datanode fix (periodic working-directory probe).
+//  3. MapReduce on the grid — jobtracker on the central server, FIFO
+//     scheduling with site locality, 1 map + 1 reduce slot per glidein
+//     (grid jobs are single-core allocations), 30 s tracker expiry, and
+//     optionally the §VI multi-copy task extension.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/grid/grid.h"
+#include "src/hdfs/datanode.h"
+#include "src/hdfs/dfs_client.h"
+#include "src/hdfs/namenode.h"
+#include "src/mapreduce/jobtracker.h"
+#include "src/mapreduce/tasktracker.h"
+#include "src/net/flow_network.h"
+#include "src/sim/simulation.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace hogsim::hog {
+
+struct HogConfig {
+  // --- HOG's Hadoop modifications (§III.B) ---
+  int replication = 10;
+  SimDuration heartbeat_recheck = 30 * kSecond;   // namenode + jobtracker
+  SimDuration disk_check_interval = 3 * kMinute;  // §IV.D.1 fix; 0 = stock
+  bool site_awareness = true;  // false = flat topology (ablation)
+
+  // --- Worker shape (§IV.A): one core per glidein ---
+  int map_slots_per_node = 1;
+  int reduce_slots_per_node = 1;
+
+  // --- Central server ---
+  Rate master_nic = Gbps(1.0);
+  Rate master_uplink = Gbps(10.0);
+
+  // --- The five OSG sites of Listing 1 (defaults populated in .cc) ---
+  std::vector<grid::SiteConfig> sites;
+
+  grid::GridConfig grid;
+
+  /// Network model knobs (latencies, WAN per-flow cap, §VI PKI overhead).
+  net::FlowNetworkConfig net;
+
+  /// §VI extension: copies per task (1 = stock).
+  int task_copies = 1;
+
+  /// Remaining Hadoop knobs (replication/recheck/expiry above override the
+  /// corresponding fields here at construction).
+  hdfs::HdfsConfig hdfs;
+  mr::MrConfig mr;
+};
+
+/// Returns the five-site OSG environment the paper restricts itself to,
+/// with per-site pools large enough for the 1101-node experiment.
+std::vector<grid::SiteConfig> DefaultOsgSites();
+
+class HogCluster {
+ public:
+  explicit HogCluster(std::uint64_t seed, HogConfig config = {});
+  ~HogCluster();
+  HogCluster(const HogCluster&) = delete;
+  HogCluster& operator=(const HogCluster&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  net::FlowNetwork& network() { return net_; }
+  grid::Grid& grid() { return *grid_; }
+  hdfs::Namenode& namenode() { return *namenode_; }
+  mr::JobTracker& jobtracker() { return *jobtracker_; }
+  hdfs::DfsClient& dfs() { return *dfs_; }
+  const HogConfig& config() const { return config_; }
+
+  /// Elastic sizing: submit/remove Condor jobs until `count` glideins are
+  /// requested (§IV.C).
+  void RequestNodes(int count) { grid_->SetTargetNodes(count); }
+
+  /// Applies a Condor submit file (Listing 1).
+  void Submit(const grid::CondorSubmit& submit) { grid_->Submit(submit); }
+
+  /// Runs the simulation until at least `count` workers are up (the paper
+  /// waits for the configured maximum before starting the workload).
+  /// Returns false if `deadline` passes first.
+  bool WaitForNodes(int count, SimTime deadline);
+
+  /// Runs until the predicate holds, checking every `step`. Returns false
+  /// on deadline.
+  bool RunUntil(const std::function<bool()>& done, SimTime deadline,
+                SimDuration step = kSecond);
+
+  // --- Availability traces (Fig. 5) ---
+
+  /// The jobtracker's view of live workers over time — the quantity the
+  /// paper plots (it can exceed the target while dead nodes await their
+  /// heartbeat timeout).
+  const StepSeries& reported_nodes() const { return reported_nodes_; }
+  /// Ground truth running glideins.
+  const StepSeries& actual_nodes() const { return actual_nodes_; }
+
+  /// Starts sampling both series (1 s resolution).
+  void StartAvailabilityTrace();
+
+ private:
+  void OnNodeStart(grid::GridNode& node);
+  void OnNodePreempt(grid::GridNode& node);
+  void OnNodeZombie(grid::GridNode& node);
+
+  struct Worker {
+    std::unique_ptr<hdfs::Datanode> datanode;
+    std::unique_ptr<mr::TaskTracker> tasktracker;
+  };
+
+  HogConfig config_;
+  sim::Simulation sim_;
+  net::FlowNetwork net_;
+  net::NodeId master_ = net::kInvalidNode;
+  std::unique_ptr<grid::Grid> grid_;
+  std::unique_ptr<hdfs::Namenode> namenode_;
+  std::unique_ptr<mr::JobTracker> jobtracker_;
+  std::unique_ptr<hdfs::DfsClient> dfs_;
+  std::vector<std::unique_ptr<Worker>> workers_;  // one per lease, kept alive
+  sim::PeriodicTimer trace_timer_;
+  StepSeries reported_nodes_;
+  StepSeries actual_nodes_;
+};
+
+}  // namespace hogsim::hog

@@ -1,0 +1,86 @@
+#include "src/mapreduce/history.h"
+
+#include <algorithm>
+
+namespace hogsim::mr {
+
+const char* HistoryEventKindName(HistoryEventKind kind) {
+  switch (kind) {
+    case HistoryEventKind::kJobSubmitted: return "job-submitted";
+    case HistoryEventKind::kAttemptLaunched: return "attempt-launched";
+    case HistoryEventKind::kAttemptSucceeded: return "attempt-succeeded";
+    case HistoryEventKind::kAttemptFailed: return "attempt-failed";
+    case HistoryEventKind::kJobSucceeded: return "job-succeeded";
+    case HistoryEventKind::kJobFailed: return "job-failed";
+  }
+  return "unknown";
+}
+
+void JobHistory::Attach(JobTracker& jobtracker) {
+  jobtracker.set_on_attempt_event([this](const JobTracker::AttemptEvent& e) {
+    HistoryEventKind kind;
+    switch (e.kind) {
+      case JobTracker::AttemptEvent::Kind::kLaunched:
+        kind = HistoryEventKind::kAttemptLaunched;
+        break;
+      case JobTracker::AttemptEvent::Kind::kSucceeded:
+        kind = HistoryEventKind::kAttemptSucceeded;
+        break;
+      default:
+        kind = HistoryEventKind::kAttemptFailed;
+        break;
+    }
+    Record({e.time, kind, e.job, e.task_type, e.task_index, e.attempt,
+            e.tracker, e.failure});
+  });
+}
+
+void JobHistory::RecordJob(const JobInfo& job) {
+  Record({job.submitted, HistoryEventKind::kJobSubmitted, job.id,
+          TaskType::kMap, -1, kInvalidAttempt, kInvalidTracker,
+          FailureKind::kNone});
+  if (job.state == JobState::kSucceeded) {
+    Record({job.finished, HistoryEventKind::kJobSucceeded, job.id,
+            TaskType::kMap, -1, kInvalidAttempt, kInvalidTracker,
+            FailureKind::kNone});
+  } else if (job.state == JobState::kFailed) {
+    Record({job.finished, HistoryEventKind::kJobFailed, job.id,
+            TaskType::kMap, -1, kInvalidAttempt, kInvalidTracker,
+            FailureKind::kNone});
+  }
+}
+
+std::vector<HistoryEvent> JobHistory::ForJob(JobId job) const {
+  std::vector<HistoryEvent> out;
+  for (const HistoryEvent& e : events_) {
+    if (e.job == job) out.push_back(e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const HistoryEvent& a, const HistoryEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::size_t JobHistory::Count(HistoryEventKind kind) const {
+  std::size_t n = 0;
+  for (const HistoryEvent& e : events_) n += (e.kind == kind);
+  return n;
+}
+
+void JobHistory::WriteCsv(std::ostream& os) const {
+  os << "time_s,kind,job,task_type,task,attempt,tracker,failure\n";
+  for (const HistoryEvent& e : events_) {
+    os << ToSeconds(e.time) << ',' << HistoryEventKindName(e.kind) << ','
+       << e.job << ',' << (e.task_type == TaskType::kMap ? "map" : "reduce")
+       << ',' << e.task_index << ',' << e.attempt << ',';
+    if (e.tracker == kInvalidTracker) {
+      os << '-';
+    } else {
+      os << e.tracker;
+    }
+    os << ',' << FailureKindName(e.failure) << '\n';
+  }
+}
+
+}  // namespace hogsim::mr

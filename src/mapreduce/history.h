@@ -1,0 +1,70 @@
+// Job history: an append-only event log of attempt lifecycles, in the
+// spirit of Hadoop's JobHistory files. Attach one to a JobTracker to record
+// launches, completions, failures and job transitions; export as CSV for
+// offline analysis or feed the availability/um trace tooling.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/mapreduce/jobtracker.h"
+#include "src/mapreduce/types.h"
+
+namespace hogsim::mr {
+
+enum class HistoryEventKind {
+  kJobSubmitted,
+  kAttemptLaunched,
+  kAttemptSucceeded,
+  kAttemptFailed,
+  kJobSucceeded,
+  kJobFailed,
+};
+
+const char* HistoryEventKindName(HistoryEventKind kind);
+
+struct HistoryEvent {
+  SimTime time = 0;
+  HistoryEventKind kind = HistoryEventKind::kJobSubmitted;
+  JobId job = kInvalidJob;
+  TaskType task_type = TaskType::kMap;
+  int task_index = -1;                    // -1 for job-level events
+  AttemptId attempt = kInvalidAttempt;
+  TrackerId tracker = kInvalidTracker;
+  FailureKind failure = FailureKind::kNone;
+};
+
+/// Collects history events. The JobTracker does not know about this class;
+/// the harness samples completed JobInfo records into it (pull model keeps
+/// the scheduler hot path clean), while attempt-level events are pushed by
+/// the optional observer hook below.
+class JobHistory {
+ public:
+  void Record(HistoryEvent event) { events_.push_back(event); }
+
+  /// Subscribes to a jobtracker's attempt events (replaces any previous
+  /// observer on that jobtracker). The history must outlive the tracker's
+  /// use of the hook.
+  void Attach(JobTracker& jobtracker);
+
+  /// Derives job-level events (submission, completion) from a JobInfo.
+  void RecordJob(const JobInfo& job);
+
+  const std::vector<HistoryEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Events of one job, in time order.
+  std::vector<HistoryEvent> ForJob(JobId job) const;
+
+  /// Counts events of a kind.
+  std::size_t Count(HistoryEventKind kind) const;
+
+  /// CSV export: time_s,kind,job,task_type,task,attempt,tracker,failure.
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  std::vector<HistoryEvent> events_;
+};
+
+}  // namespace hogsim::mr

@@ -1,0 +1,694 @@
+#include "src/mapreduce/jobtracker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/util/log.h"
+
+namespace hogsim::mr {
+
+JobTracker::JobTracker(sim::Simulation& sim, net::FlowNetwork& net,
+                       hdfs::Namenode& namenode, net::NodeId master,
+                       hdfs::TopologyScript topology, MrConfig config)
+    : sim_(sim),
+      net_(net),
+      nn_(namenode),
+      master_(master),
+      topology_(std::move(topology)),
+      config_(config) {
+  assert(topology_);
+}
+
+void JobTracker::Start() {
+  const SimDuration check =
+      std::max<SimDuration>(kSecond, config_.tracker_expiry / 6);
+  tracker_monitor_.Start(sim_, check, [this] { CheckTrackers(); });
+}
+
+// ---- Tracker lifecycle --------------------------------------------------------
+
+TrackerId JobTracker::RegisterTracker(TaskTracker& daemon) {
+  TrackerEntry entry;
+  entry.daemon = &daemon;
+  entry.hostname = daemon.hostname();
+  entry.rack = topology_(daemon.hostname());
+  entry.net_node = daemon.net_node();
+  entry.alive = true;
+  entry.last_heartbeat = sim_.now();
+  trackers_.push_back(std::move(entry));
+  ++live_trackers_;
+  return static_cast<TrackerId>(trackers_.size() - 1);
+}
+
+void JobTracker::Heartbeat(TrackerId id) {
+  if (id >= trackers_.size()) return;
+  TrackerEntry& entry = trackers_[id];
+  entry.last_heartbeat = sim_.now();
+  if (!entry.alive) {
+    entry.alive = true;
+    ++live_trackers_;
+  }
+  ScheduleOn(id);
+}
+
+void JobTracker::CheckTrackers() {
+  const SimTime now = sim_.now();
+  for (TrackerId id = 0; id < trackers_.size(); ++id) {
+    if (trackers_[id].alive &&
+        now - trackers_[id].last_heartbeat > config_.tracker_expiry) {
+      DeclareLost(id);
+    }
+  }
+}
+
+void JobTracker::DeclareLost(TrackerId id) {
+  TrackerEntry& entry = trackers_[id];
+  if (!entry.alive) return;
+  entry.alive = false;
+  --live_trackers_;
+  ++trackers_lost_;
+  HOG_LOG(kInfo, sim_.now(), "jobtracker")
+      << entry.hostname << " lost (" << entry.attempts.size()
+      << " running attempts)";
+
+  // Running attempts on the tracker vanish; their tasks go back to pending.
+  const std::vector<AttemptId> lost(entry.attempts.begin(),
+                                    entry.attempts.end());
+  for (AttemptId a : lost) {
+    auto it = attempts_.find(a);
+    if (it == attempts_.end()) continue;
+    const AttemptRecord record = it->second;
+    FinishAttempt(a);
+    JobInfo& job = jobs_[record.job];
+    if (job.state != JobState::kRunning) continue;
+    TaskInfo& task = record.type == TaskType::kMap
+                         ? job.maps[record.task_index]
+                         : job.reduces[record.task_index];
+    if (!task.complete && TaskNeedsAttempt(job, task)) {
+      auto& pending = record.type == TaskType::kMap ? job.pending_maps
+                                                    : job.pending_reduces;
+      if (std::find(pending.begin(), pending.end(), record.task_index) ==
+          pending.end()) {
+        pending.push_back(record.task_index);
+      }
+    }
+  }
+
+  // Completed map output on the node is gone: re-execute those maps for
+  // every still-running job (§III.B — redistributing processing).
+  for (JobInfo& job : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    for (TaskInfo& map : job.maps) {
+      if (map.complete && map.completed_on == id) {
+        RevertCompletedMap(job, map.index);
+      }
+    }
+  }
+  entry.used_map_slots = 0;
+  entry.used_reduce_slots = 0;
+}
+
+// ---- Job submission -----------------------------------------------------------
+
+JobId JobTracker::SubmitJob(JobSpec spec) {
+  JobInfo job;
+  job.id = static_cast<JobId>(jobs_.size());
+  job.submitted = sim_.now();
+  job.output_file = nn_.CreateFile(spec.name + "-out",
+                                   spec.output_replication);
+
+  const auto blocks = nn_.GetFileBlocks(spec.input);
+  job.maps.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    TaskInfo task;
+    task.type = TaskType::kMap;
+    task.index = static_cast<int>(i);
+    task.block = blocks[i].block;
+    task.input_size = blocks[i].size;
+    task.input_nodes = blocks[i].net_nodes;
+    task.input_racks = blocks[i].racks;
+    job.maps.push_back(std::move(task));
+    job.pending_maps.push_back(static_cast<int>(i));
+  }
+  for (int r = 0; r < spec.num_reduces; ++r) {
+    TaskInfo task;
+    task.type = TaskType::kReduce;
+    task.index = r;
+    job.reduces.push_back(std::move(task));
+    job.pending_reduces.push_back(r);
+  }
+  job.spec = std::move(spec);
+  jobs_.push_back(std::move(job));
+  fifo_.push_back(jobs_.back().id);
+  ++running_jobs_;
+  // A job with no work completes immediately.
+  MaybeCompleteJob(jobs_.back());
+  return jobs_.back().id;
+}
+
+// ---- Scheduling -----------------------------------------------------------------
+
+bool JobTracker::LocalityWaitPermits(JobInfo& job, int locality) {
+  if (config_.locality_wait_node <= 0 || locality == 0) {
+    job.locality_wait_start = -1;
+    return true;
+  }
+  if (job.locality_wait_start < 0) job.locality_wait_start = sim_.now();
+  const SimDuration waited = sim_.now() - job.locality_wait_start;
+  const SimDuration needed =
+      locality == 1 ? config_.locality_wait_node
+                    : config_.locality_wait_node + config_.locality_wait_rack;
+  if (waited >= needed) {
+    job.locality_wait_start = -1;  // concede, and start a fresh wait
+    return true;
+  }
+  return false;
+}
+
+bool JobTracker::TaskNeedsAttempt(const JobInfo& job,
+                                  const TaskInfo& task) const {
+  return job.state == JobState::kRunning && !task.complete &&
+         static_cast<int>(task.active_attempts.size()) < config_.task_copies &&
+         task.failures < config_.max_attempts;
+}
+
+bool JobTracker::CanSpeculate(const JobInfo& job, const TaskInfo& task) const {
+  if (!config_.speculative_execution || task.complete ||
+      task.active_attempts.size() != 1) {
+    return false;
+  }
+  const RunningStats& durations =
+      task.type == TaskType::kMap ? job.map_durations : job.reduce_durations;
+  if (durations.count() == 0) return false;
+  const auto it = attempts_.find(task.active_attempts.front());
+  if (it == attempts_.end()) return false;
+  const double runtime = ToSeconds(sim_.now() - it->second.started);
+  return runtime > config_.speculative_slowness * durations.mean();
+}
+
+void JobTracker::ScheduleOn(TrackerId id) {
+  TrackerEntry& entry = trackers_[id];
+  if (!entry.alive || entry.daemon == nullptr ||
+      !entry.daemon->process_alive()) {
+    return;
+  }
+  // Hadoop 0.20 assigns at most one map and one reduce per heartbeat.
+  AssignMap(id);
+  AssignReduce(id);
+}
+
+int JobTracker::PickMapTask(JobInfo& job, const TrackerEntry& tracker,
+                            int* locality, bool* speculative) {
+  if (job.blacklist.contains(
+          static_cast<TrackerId>(&tracker - trackers_.data()))) {
+    return -1;
+  }
+  // Pass over pending maps, classifying by locality tier; stale entries
+  // (completed / already saturated) are pruned on the way.
+  int best = -1;
+  int best_tier = 3;
+  for (std::size_t i = 0; i < job.pending_maps.size();) {
+    const int index = job.pending_maps[i];
+    TaskInfo& task = job.maps[index];
+    if (!TaskNeedsAttempt(job, task)) {
+      job.pending_maps[i] = job.pending_maps.back();
+      job.pending_maps.pop_back();
+      continue;
+    }
+    int tier = 2;
+    if (std::find(task.input_nodes.begin(), task.input_nodes.end(),
+                  tracker.net_node) != task.input_nodes.end()) {
+      tier = 0;
+    } else if (std::find(task.input_racks.begin(), task.input_racks.end(),
+                         tracker.rack) != task.input_racks.end()) {
+      tier = 1;
+    }
+    if (tier < best_tier || (tier == best_tier && best >= 0 && index < best)) {
+      best = index;
+      best_tier = tier;
+    }
+    if (best_tier == 0 && best >= 0) {
+      // Node-local and lowest-index preference satisfied enough; keep
+      // scanning only to prune? Stop early: node-local is optimal.
+      break;
+    }
+    ++i;
+  }
+  if (best >= 0) {
+    *locality = best_tier;
+    *speculative = false;
+    return best;
+  }
+  // No pending work: try speculation (a second copy of a slow task). The
+  // guards keep this scan off the hot path for jobs past their map phase.
+  if (job.running_map_attempts > 0 &&
+      job.maps_completed < static_cast<int>(job.maps.size()) &&
+      job.map_durations.count() > 0) {
+    for (TaskInfo& task : job.maps) {
+      if (CanSpeculate(job, task)) {
+        *locality = 2;
+        *speculative = true;
+        return task.index;
+      }
+    }
+  }
+  return -1;
+}
+
+int JobTracker::PickReduceTask(JobInfo& job, const TrackerEntry& tracker,
+                               bool* speculative) {
+  if (job.blacklist.contains(
+          static_cast<TrackerId>(&tracker - trackers_.data()))) {
+    return -1;
+  }
+  // Reduce slowstart: wait until a fraction of this job's maps completed.
+  const int total_maps = static_cast<int>(job.maps.size());
+  const int threshold = total_maps == 0
+                            ? 0
+                            : std::max(1, static_cast<int>(std::ceil(
+                                              config_.reduce_slowstart *
+                                              total_maps)));
+  if (job.maps_completed < threshold) return -1;
+
+  int best = -1;
+  for (std::size_t i = 0; i < job.pending_reduces.size();) {
+    const int index = job.pending_reduces[i];
+    if (!TaskNeedsAttempt(job, job.reduces[index])) {
+      job.pending_reduces[i] = job.pending_reduces.back();
+      job.pending_reduces.pop_back();
+      continue;
+    }
+    if (best < 0 || index < best) best = index;
+    ++i;
+  }
+  if (best >= 0) {
+    *speculative = false;
+    return best;
+  }
+  if (job.running_reduce_attempts > 0 &&
+      job.reduces_completed < static_cast<int>(job.reduces.size()) &&
+      job.reduce_durations.count() > 0) {
+    for (TaskInfo& task : job.reduces) {
+      if (CanSpeculate(job, task)) {
+        *speculative = true;
+        return task.index;
+      }
+    }
+  }
+  return -1;
+}
+
+bool JobTracker::AssignMap(TrackerId id) {
+  TrackerEntry& entry = trackers_[id];
+  if (entry.used_map_slots >= entry.daemon->map_slots()) return false;
+  for (std::size_t i = 0; i < fifo_.size();) {
+    JobInfo& job = jobs_[fifo_[i]];
+    if (job.state != JobState::kRunning) {
+      fifo_.erase(fifo_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    int locality = 2;
+    bool speculative = false;
+    const int task_index = PickMapTask(job, entry, &locality, &speculative);
+    if (task_index >= 0 && !speculative &&
+        !LocalityWaitPermits(job, locality)) {
+      // Delay scheduling: decline this offer and let the next job bid; a
+      // later heartbeat (often from a data-local node) will serve this
+      // job, or its wait will expire.
+      ++i;
+      continue;
+    }
+    if (task_index >= 0) {
+      // Locality accounting covers primary launches only; speculative
+      // copies are placed wherever a slot is free.
+      if (!speculative) {
+        switch (locality) {
+          case 0: ++job.data_local_maps; break;
+          case 1: ++job.rack_local_maps; break;
+          default: ++job.remote_maps; break;
+        }
+      }
+      LaunchAttempt(job, job.maps[task_index], id, speculative);
+      return true;
+    }
+    ++i;
+  }
+  return false;
+}
+
+bool JobTracker::AssignReduce(TrackerId id) {
+  TrackerEntry& entry = trackers_[id];
+  if (entry.used_reduce_slots >= entry.daemon->reduce_slots()) return false;
+  for (std::size_t i = 0; i < fifo_.size();) {
+    JobInfo& job = jobs_[fifo_[i]];
+    if (job.state != JobState::kRunning) {
+      fifo_.erase(fifo_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    bool speculative = false;
+    const int task_index = PickReduceTask(job, entry, &speculative);
+    if (task_index >= 0) {
+      LaunchAttempt(job, job.reduces[task_index], id, speculative);
+      return true;
+    }
+    ++i;
+  }
+  return false;
+}
+
+void JobTracker::LaunchAttempt(JobInfo& job, TaskInfo& task, TrackerId tracker,
+                               bool speculative) {
+  TrackerEntry& entry = trackers_[tracker];
+  const AttemptId id = next_attempt_++;
+  AttemptRecord record;
+  record.job = job.id;
+  record.type = task.type;
+  record.task_index = task.index;
+  record.tracker = tracker;
+  record.started = sim_.now();
+  record.speculative = speculative;
+  attempts_.emplace(id, record);
+  entry.attempts.insert(id);
+  task.active_attempts.push_back(id);
+  if (task.type == TaskType::kMap) {
+    ++job.running_map_attempts;
+  } else {
+    ++job.running_reduce_attempts;
+  }
+  if (task.first_launch < 0) task.first_launch = sim_.now();
+  ++attempts_launched_;
+  if (speculative) ++speculative_attempts_;
+  if (on_attempt_event_) {
+    on_attempt_event_({sim_.now(), AttemptEvent::Kind::kLaunched, job.id,
+                       task.type, task.index, id, tracker, speculative,
+                       FailureKind::kNone});
+  }
+
+  const SimDuration latency = net_.Latency(master_, entry.net_node);
+  TaskTracker* daemon = entry.daemon;
+  if (task.type == TaskType::kMap) {
+    ++entry.used_map_slots;
+    MapAttemptSpec spec;
+    spec.attempt = id;
+    spec.job = job.id;
+    spec.task_index = task.index;
+    spec.block = task.block;
+    spec.input_size = task.input_size;
+    spec.selectivity = job.spec.map_selectivity;
+    spec.compute_rate = job.spec.map_compute_rate;
+    sim_.ScheduleAfter(latency,
+                       [daemon, spec] { daemon->StartMapAttempt(spec); });
+  } else {
+    ++entry.used_reduce_slots;
+    ReduceAttemptSpec spec;
+    spec.attempt = id;
+    spec.job = job.id;
+    spec.task_index = task.index;
+    spec.num_maps = static_cast<int>(job.maps.size());
+    spec.num_reduces = static_cast<int>(job.reduces.size());
+    spec.selectivity = job.spec.reduce_selectivity;
+    spec.compute_rate = job.spec.reduce_compute_rate;
+    spec.output_file = job.output_file;
+    sim_.ScheduleAfter(latency,
+                       [daemon, spec] { daemon->StartReduceAttempt(spec); });
+    SendMapSnapshot(job, id, tracker);
+  }
+}
+
+void JobTracker::SendMapSnapshot(JobInfo& job, AttemptId reduce_attempt,
+                                 TrackerId tracker) {
+  TrackerEntry& entry = trackers_[tracker];
+  const SimDuration latency = net_.Latency(master_, entry.net_node);
+  TaskTracker* daemon = entry.daemon;
+  const int num_reduces = static_cast<int>(job.reduces.size());
+  for (const TaskInfo& map : job.maps) {
+    if (!map.complete || map.completed_on == kInvalidTracker) continue;
+    const net::NodeId source = trackers_[map.completed_on].net_node;
+    const Bytes partition =
+        num_reduces > 0 ? map.output_bytes / num_reduces : 0;
+    const int map_index = map.index;
+    sim_.ScheduleAfter(latency, [daemon, reduce_attempt, map_index, source,
+                                 partition] {
+      daemon->NotifyMapComplete(reduce_attempt, map_index, source, partition);
+    });
+  }
+}
+
+void JobTracker::NotifyReducesOfMap(JobInfo& job, const TaskInfo& map) {
+  if (job.reduces.empty() || map.completed_on == kInvalidTracker) return;
+  const net::NodeId source = trackers_[map.completed_on].net_node;
+  const Bytes partition =
+      map.output_bytes / static_cast<int>(job.reduces.size());
+  for (const TaskInfo& reduce : job.reduces) {
+    for (AttemptId a : reduce.active_attempts) {
+      auto it = attempts_.find(a);
+      if (it == attempts_.end()) continue;
+      TrackerEntry& entry = trackers_[it->second.tracker];
+      if (!entry.alive || entry.daemon == nullptr) continue;
+      const SimDuration latency = net_.Latency(master_, entry.net_node);
+      TaskTracker* daemon = entry.daemon;
+      const int map_index = map.index;
+      sim_.ScheduleAfter(latency, [daemon, a, map_index, source, partition] {
+        daemon->NotifyMapComplete(a, map_index, source, partition);
+      });
+    }
+  }
+}
+
+// ---- Reports ----------------------------------------------------------------------
+
+void JobTracker::ReportAttempt(const AttemptReport& report) {
+  auto it = attempts_.find(report.attempt);
+  if (it == attempts_.end()) return;  // killed attempt's stale report
+  if (on_attempt_event_) {
+    on_attempt_event_({sim_.now(),
+                       report.success ? AttemptEvent::Kind::kSucceeded
+                                      : AttemptEvent::Kind::kFailed,
+                       report.job, report.type, report.task_index,
+                       report.attempt, it->second.tracker,
+                       it->second.speculative, report.failure});
+  }
+  if (report.success) {
+    if (report.type == TaskType::kMap) {
+      HandleMapComplete(report);
+    } else {
+      HandleReduceComplete(report);
+    }
+  } else {
+    HandleFailure(report);
+  }
+}
+
+void JobTracker::FinishAttempt(AttemptId id) {
+  auto it = attempts_.find(id);
+  if (it == attempts_.end()) return;
+  const AttemptRecord& record = it->second;
+  TrackerEntry& entry = trackers_[record.tracker];
+  if (entry.attempts.erase(id) > 0) {
+    if (record.type == TaskType::kMap) {
+      entry.used_map_slots = std::max(0, entry.used_map_slots - 1);
+    } else {
+      entry.used_reduce_slots = std::max(0, entry.used_reduce_slots - 1);
+    }
+  }
+  JobInfo& job = jobs_[record.job];
+  TaskInfo& task = record.type == TaskType::kMap
+                       ? job.maps[record.task_index]
+                       : job.reduces[record.task_index];
+  std::erase(task.active_attempts, id);
+  if (record.type == TaskType::kMap) {
+    --job.running_map_attempts;
+  } else {
+    --job.running_reduce_attempts;
+  }
+  attempts_.erase(it);
+}
+
+void JobTracker::KillOtherAttempts(JobInfo& job, TaskInfo& task,
+                                   AttemptId winner) {
+  const std::vector<AttemptId> losers(task.active_attempts.begin(),
+                                      task.active_attempts.end());
+  for (AttemptId a : losers) {
+    if (a == winner) continue;
+    auto it = attempts_.find(a);
+    if (it == attempts_.end()) continue;
+    TrackerEntry& entry = trackers_[it->second.tracker];
+    if (entry.daemon != nullptr) entry.daemon->KillAttempt(a);
+    FinishAttempt(a);
+  }
+  (void)job;
+}
+
+void JobTracker::HandleMapComplete(const AttemptReport& report) {
+  const AttemptRecord record = attempts_.at(report.attempt);
+  FinishAttempt(report.attempt);
+  JobInfo& job = jobs_[record.job];
+  TaskInfo& task = job.maps[record.task_index];
+  if (task.complete || job.state != JobState::kRunning) return;
+  task.complete = true;
+  task.completed_at = sim_.now();
+  task.completed_on = record.tracker;
+  task.output_bytes = report.map_output_bytes;
+  ++job.maps_completed;
+  job.map_durations.Add(ToSeconds(sim_.now() - record.started));
+  job.counters.map_input_bytes += report.input_bytes;
+  if (report.input_was_local) {
+    job.counters.local_input_bytes += report.input_bytes;
+  } else {
+    job.counters.remote_input_bytes += report.input_bytes;
+  }
+  job.counters.map_output_bytes += report.map_output_bytes;
+  KillOtherAttempts(job, task, report.attempt);
+  NotifyReducesOfMap(job, task);
+  MaybeCompleteJob(job);
+}
+
+void JobTracker::HandleReduceComplete(const AttemptReport& report) {
+  const AttemptRecord record = attempts_.at(report.attempt);
+  FinishAttempt(report.attempt);
+  JobInfo& job = jobs_[record.job];
+  TaskInfo& task = job.reduces[record.task_index];
+  if (task.complete || job.state != JobState::kRunning) return;
+  task.complete = true;
+  task.completed_at = sim_.now();
+  ++job.reduces_completed;
+  job.reduce_durations.Add(ToSeconds(sim_.now() - record.started));
+  job.counters.shuffle_bytes += report.shuffle_bytes;
+  job.counters.reduce_output_bytes += report.output_bytes;
+  KillOtherAttempts(job, task, report.attempt);
+  MaybeCompleteJob(job);
+}
+
+void JobTracker::HandleFailure(const AttemptReport& report) {
+  const AttemptRecord record = attempts_.at(report.attempt);
+  FinishAttempt(report.attempt);
+  JobInfo& job = jobs_[record.job];
+  if (job.state != JobState::kRunning) return;
+  TaskInfo& task = record.type == TaskType::kMap
+                       ? job.maps[record.task_index]
+                       : job.reduces[record.task_index];
+  if (task.complete) return;  // a failed duplicate of a finished task
+  ++task.failures;
+
+  // Per-job tracker blacklisting (mapred.max.tracker.failures).
+  const int tracker_fails = ++job.tracker_failures[record.tracker];
+  if (tracker_fails >= config_.tracker_blacklist_failures) {
+    job.blacklist.insert(record.tracker);
+  }
+
+  HOG_LOG(kDebug, sim_.now(), "jobtracker")
+      << "attempt failed (" << FailureKindName(report.failure) << ") job "
+      << job.id << (record.type == TaskType::kMap ? " map " : " reduce ")
+      << record.task_index << " failures=" << task.failures;
+
+  if (task.failures >= config_.max_attempts) {
+    FailJob(job);
+    return;
+  }
+  auto& pending = record.type == TaskType::kMap ? job.pending_maps
+                                                : job.pending_reduces;
+  if (std::find(pending.begin(), pending.end(), record.task_index) ==
+      pending.end()) {
+    pending.push_back(record.task_index);
+  }
+}
+
+void JobTracker::ReportFetchFailure(JobId job_id, int map_index) {
+  if (job_id >= jobs_.size()) return;
+  JobInfo& job = jobs_[job_id];
+  if (job.state != JobState::kRunning) return;
+  TaskInfo& map = job.maps[map_index];
+  if (!map.complete) return;  // already being re-executed
+  const TrackerEntry& entry = trackers_[map.completed_on];
+  const bool output_gone = !entry.alive || entry.daemon == nullptr ||
+                           !entry.daemon->process_alive() ||
+                           entry.daemon->zombie();
+  if (output_gone) {
+    RevertCompletedMap(job, map_index);
+  } else {
+    // The output is fine (e.g. the reduce raced a re-execution); re-send
+    // its location so the reduce can fetch from the current holder.
+    NotifyReducesOfMap(job, map);
+  }
+}
+
+bool JobTracker::MapOutputAvailable(JobId job_id, int map_index,
+                                    net::NodeId source) const {
+  if (job_id >= jobs_.size()) return false;
+  const JobInfo& job = jobs_[job_id];
+  if (static_cast<std::size_t>(map_index) >= job.maps.size()) return false;
+  const TaskInfo& map = job.maps[map_index];
+  if (!map.complete || map.completed_on == kInvalidTracker) return false;
+  const TrackerEntry& entry = trackers_[map.completed_on];
+  return entry.net_node == source && entry.alive && entry.daemon != nullptr &&
+         entry.daemon->process_alive() && !entry.daemon->zombie();
+}
+
+void JobTracker::RevertCompletedMap(JobInfo& job, int map_index) {
+  TaskInfo& task = job.maps[map_index];
+  if (!task.complete) return;
+  task.complete = false;
+  task.completed_on = kInvalidTracker;
+  task.completed_at = -1;
+  --job.maps_completed;
+  ++maps_reexecuted_;
+  if (std::find(job.pending_maps.begin(), job.pending_maps.end(), map_index) ==
+      job.pending_maps.end()) {
+    job.pending_maps.push_back(map_index);
+  }
+}
+
+// ---- Completion ---------------------------------------------------------------------
+
+void JobTracker::MaybeCompleteJob(JobInfo& job) {
+  if (job.state != JobState::kRunning) return;
+  if (job.maps_completed < static_cast<int>(job.maps.size()) ||
+      job.reduces_completed < static_cast<int>(job.reduces.size())) {
+    return;
+  }
+  job.state = JobState::kSucceeded;
+  job.finished = sim_.now();
+  --running_jobs_;
+  // Hadoop deletes intermediate map output only now (§IV.D.2).
+  for (TrackerEntry& entry : trackers_) {
+    if (entry.daemon != nullptr && entry.daemon->process_alive()) {
+      entry.daemon->PurgeJob(job.id);
+    }
+  }
+  HOG_LOG(kInfo, sim_.now(), "jobtracker")
+      << "job " << job.id << " (" << job.spec.name << ") finished in "
+      << FormatDuration(job.ResponseTime());
+  if (on_job_complete_) on_job_complete_(job);
+}
+
+void JobTracker::FailJob(JobInfo& job) {
+  if (job.state != JobState::kRunning) return;
+  job.state = JobState::kFailed;
+  job.finished = sim_.now();
+  --running_jobs_;
+  // Kill every remaining attempt of the job.
+  for (auto* tasks : {&job.maps, &job.reduces}) {
+    for (TaskInfo& task : *tasks) {
+      const std::vector<AttemptId> active(task.active_attempts.begin(),
+                                          task.active_attempts.end());
+      for (AttemptId a : active) {
+        auto it = attempts_.find(a);
+        if (it == attempts_.end()) continue;
+        TrackerEntry& entry = trackers_[it->second.tracker];
+        if (entry.daemon != nullptr) entry.daemon->KillAttempt(a);
+        FinishAttempt(a);
+      }
+    }
+  }
+  for (TrackerEntry& entry : trackers_) {
+    if (entry.daemon != nullptr && entry.daemon->process_alive()) {
+      entry.daemon->PurgeJob(job.id);
+    }
+  }
+  HOG_LOG(kWarn, sim_.now(), "jobtracker")
+      << "job " << job.id << " (" << job.spec.name << ") FAILED";
+  if (on_job_complete_) on_job_complete_(job);
+}
+
+}  // namespace hogsim::mr

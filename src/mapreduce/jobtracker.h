@@ -1,0 +1,246 @@
+// The MapReduce master: job queue, heartbeat-driven FIFO scheduling with
+// node/site locality, speculative execution, per-job tracker blacklisting,
+// lost-tracker recovery (including re-execution of completed maps whose
+// output died with their node), and the §VI multi-copy extension.
+//
+// Like the namenode, the jobtracker lives on HOG's stable central server;
+// every tasktracker interaction crosses the (possibly WAN) network.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/hdfs/namenode.h"
+#include "src/hdfs/topology.h"
+#include "src/mapreduce/tasktracker.h"
+#include "src/mapreduce/types.h"
+#include "src/net/flow_network.h"
+#include "src/sim/simulation.h"
+#include "src/util/stats.h"
+
+namespace hogsim::mr {
+
+enum class JobState { kRunning, kSucceeded, kFailed };
+
+/// Scheduler's view of one task.
+struct TaskInfo {
+  TaskType type = TaskType::kMap;
+  int index = 0;
+  hdfs::BlockId block = hdfs::kInvalidBlock;  // maps only
+  Bytes input_size = 0;
+  // Input replica locations cached at submit time for locality decisions
+  // (refreshing is unnecessary: staleness only costs locality, never
+  // correctness — the read path re-resolves replicas).
+  std::vector<net::NodeId> input_nodes;
+  std::vector<std::string> input_racks;
+
+  bool complete = false;
+  std::vector<AttemptId> active_attempts;
+  int failures = 0;
+
+  // For completed maps: where the output lives (shuffle source).
+  TrackerId completed_on = kInvalidTracker;
+  Bytes output_bytes = 0;
+
+  SimTime first_launch = -1;
+  SimTime completed_at = -1;
+};
+
+/// Hadoop-style per-job counters, accumulated from successful attempts.
+struct JobCounters {
+  Bytes map_input_bytes = 0;
+  Bytes local_input_bytes = 0;   // read from a node-local replica
+  Bytes remote_input_bytes = 0;  // streamed from another datanode
+  Bytes map_output_bytes = 0;
+  Bytes shuffle_bytes = 0;
+  Bytes reduce_output_bytes = 0;
+};
+
+struct JobInfo {
+  JobId id = kInvalidJob;
+  JobSpec spec;
+  JobState state = JobState::kRunning;
+  SimTime submitted = 0;
+  SimTime finished = -1;
+  hdfs::FileId output_file = hdfs::kInvalidFile;
+
+  std::vector<TaskInfo> maps;
+  std::vector<TaskInfo> reduces;
+  std::vector<int> pending_maps;     // task indices still needing attempts
+  std::vector<int> pending_reduces;
+  int maps_completed = 0;
+  int reduces_completed = 0;
+  int running_map_attempts = 0;      // scheduler fast-path guards
+  int running_reduce_attempts = 0;
+
+  std::unordered_map<TrackerId, int> tracker_failures;
+  std::unordered_set<TrackerId> blacklist;
+
+  RunningStats map_durations;     // completed attempts, for speculation
+  RunningStats reduce_durations;
+
+  // Locality accounting for launched map attempts.
+  int data_local_maps = 0;
+  int rack_local_maps = 0;
+  int remote_maps = 0;
+
+  /// Delay-scheduling state: when this job first had to decline a
+  /// non-local offer (-1 = not currently waiting).
+  SimTime locality_wait_start = -1;
+
+  JobCounters counters;
+
+  /// Response time in the paper's sense (submission to completion), or -1.
+  SimDuration ResponseTime() const {
+    return finished >= 0 ? finished - submitted : -1;
+  }
+};
+
+class JobTracker {
+ public:
+  JobTracker(sim::Simulation& sim, net::FlowNetwork& net,
+             hdfs::Namenode& namenode, net::NodeId master,
+             hdfs::TopologyScript topology, MrConfig config = {});
+
+  /// Arms the lost-tracker monitor.
+  void Start();
+
+  // ---- Tasktracker lifecycle --------------------------------------------
+
+  TrackerId RegisterTracker(TaskTracker& daemon);
+  void Heartbeat(TrackerId id);
+
+  // ---- Job client interface ----------------------------------------------
+
+  /// Submits a job; one map task per input block. Returns its id.
+  JobId SubmitJob(JobSpec spec);
+
+  const JobInfo& job(JobId id) const { return jobs_[id]; }
+  std::size_t job_count() const { return jobs_.size(); }
+  int running_jobs() const { return running_jobs_; }
+  bool AllJobsDone() const { return running_jobs_ == 0; }
+
+  void set_on_job_complete(std::function<void(const JobInfo&)> cb) {
+    on_job_complete_ = std::move(cb);
+  }
+
+  /// Attempt-lifecycle observer (JobHistory adapts this into its log).
+  struct AttemptEvent {
+    enum class Kind { kLaunched, kSucceeded, kFailed };
+    SimTime time = 0;
+    Kind kind = Kind::kLaunched;
+    JobId job = kInvalidJob;
+    TaskType task_type = TaskType::kMap;
+    int task_index = 0;
+    AttemptId attempt = kInvalidAttempt;
+    TrackerId tracker = kInvalidTracker;
+    bool speculative = false;
+    FailureKind failure = FailureKind::kNone;
+  };
+  void set_on_attempt_event(std::function<void(const AttemptEvent&)> cb) {
+    on_attempt_event_ = std::move(cb);
+  }
+
+  // ---- Tasktracker -> jobtracker RPCs -------------------------------------
+
+  void ReportAttempt(const AttemptReport& report);
+
+  /// A reduce could not fetch map `map_index` of `job` from its recorded
+  /// location; if the location is indeed gone, the map re-executes.
+  void ReportFetchFailure(JobId job, int map_index);
+
+  /// Shuffle-time validity check: true while map `map_index`'s output is
+  /// still served from `source` (its tracker is alive and not a zombie).
+  bool MapOutputAvailable(JobId job, int map_index, net::NodeId source) const;
+
+  // ---- Introspection --------------------------------------------------------
+
+  int live_trackers() const { return live_trackers_; }
+  std::uint64_t trackers_declared_lost() const { return trackers_lost_; }
+  std::uint64_t maps_reexecuted() const { return maps_reexecuted_; }
+  std::uint64_t speculative_attempts() const { return speculative_attempts_; }
+  std::uint64_t attempts_launched() const { return attempts_launched_; }
+  const MrConfig& config() const { return config_; }
+  net::NodeId master_node() const { return master_; }
+
+  struct TrackerEntry {
+    TaskTracker* daemon = nullptr;
+    std::string hostname;
+    std::string rack;
+    net::NodeId net_node = net::kInvalidNode;
+    bool alive = false;
+    SimTime last_heartbeat = 0;
+    int used_map_slots = 0;
+    int used_reduce_slots = 0;
+    std::unordered_set<AttemptId> attempts;
+  };
+  const TrackerEntry& tracker(TrackerId id) const { return trackers_[id]; }
+  std::size_t tracker_count() const { return trackers_.size(); }
+
+ private:
+  struct AttemptRecord {
+    JobId job = kInvalidJob;
+    TaskType type = TaskType::kMap;
+    int task_index = 0;
+    TrackerId tracker = kInvalidTracker;
+    SimTime started = 0;
+    bool speculative = false;
+  };
+
+  void CheckTrackers();
+  void DeclareLost(TrackerId id);
+  void ScheduleOn(TrackerId id);  // per-heartbeat task assignment
+  bool AssignMap(TrackerId id);
+  bool AssignReduce(TrackerId id);
+  int PickMapTask(JobInfo& job, const TrackerEntry& tracker, int* locality,
+                  bool* speculative);
+  /// Delay-scheduling gate: may job launch at this locality tier now?
+  bool LocalityWaitPermits(JobInfo& job, int locality);
+  int PickReduceTask(JobInfo& job, const TrackerEntry& tracker,
+                     bool* speculative);
+  void LaunchAttempt(JobInfo& job, TaskInfo& task, TrackerId tracker,
+                     bool speculative);
+  void HandleMapComplete(const AttemptReport& report);
+  void HandleReduceComplete(const AttemptReport& report);
+  void HandleFailure(const AttemptReport& report);
+  void FinishAttempt(AttemptId id);  // bookkeeping removal
+  void KillOtherAttempts(JobInfo& job, TaskInfo& task, AttemptId winner);
+  void RevertCompletedMap(JobInfo& job, int map_index);
+  void MaybeCompleteJob(JobInfo& job);
+  void FailJob(JobInfo& job);
+  void NotifyReducesOfMap(JobInfo& job, const TaskInfo& map);
+  void SendMapSnapshot(JobInfo& job, AttemptId reduce_attempt,
+                       TrackerId tracker);
+  bool TaskNeedsAttempt(const JobInfo& job, const TaskInfo& task) const;
+  bool CanSpeculate(const JobInfo& job, const TaskInfo& task) const;
+
+  sim::Simulation& sim_;
+  net::FlowNetwork& net_;
+  hdfs::Namenode& nn_;
+  net::NodeId master_;
+  hdfs::TopologyScript topology_;
+  MrConfig config_;
+
+  std::vector<TrackerEntry> trackers_;
+  std::vector<JobInfo> jobs_;
+  std::vector<JobId> fifo_;  // submission order; completed jobs pruned lazily
+  std::unordered_map<AttemptId, AttemptRecord> attempts_;
+  AttemptId next_attempt_ = 1;
+
+  sim::PeriodicTimer tracker_monitor_;
+  int live_trackers_ = 0;
+  int running_jobs_ = 0;
+  std::uint64_t trackers_lost_ = 0;
+  std::uint64_t maps_reexecuted_ = 0;
+  std::uint64_t speculative_attempts_ = 0;
+  std::uint64_t attempts_launched_ = 0;
+  std::function<void(const JobInfo&)> on_job_complete_;
+  std::function<void(const AttemptEvent&)> on_attempt_event_;
+};
+
+}  // namespace hogsim::mr

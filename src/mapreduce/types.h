@@ -1,0 +1,106 @@
+// Shared types for the MapReduce 1.0 model: job specifications, task
+// identifiers, and framework configuration.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/hdfs/types.h"
+#include "src/util/units.h"
+
+namespace hogsim::mr {
+
+using JobId = std::uint32_t;
+using TrackerId = std::uint32_t;
+using AttemptId = std::uint64_t;
+
+constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+constexpr TrackerId kInvalidTracker = std::numeric_limits<TrackerId>::max();
+constexpr AttemptId kInvalidAttempt = 0;
+
+enum class TaskType { kMap, kReduce };
+
+/// A MapReduce job, loadgen-style: synthetic map/reduce work whose cost is
+/// proportional to bytes processed. One map task per input block (§II.A).
+struct JobSpec {
+  std::string name;
+  hdfs::FileId input = hdfs::kInvalidFile;
+  int num_reduces = 1;
+
+  /// Map output bytes = selectivity * input bytes (loadgen's keep ratio).
+  double map_selectivity = 1.0;
+  /// Reduce (HDFS) output bytes = selectivity * shuffled bytes.
+  double reduce_selectivity = 0.4;
+
+  /// Per-slot processing rates; calibrated so the dedicated cluster's
+  /// response to the Facebook workload lands near the paper's (§IV.B).
+  Rate map_compute_rate = MiBps(2.5);
+  Rate reduce_compute_rate = MiBps(5.0);
+
+  /// Replication of the job's output file (-1 = filesystem default).
+  int output_replication = -1;
+};
+
+/// MapReduce framework tunables. Reproduction-relevant deltas:
+///
+///                          stock Hadoop 0.20    HOG (§III.B)
+///   tracker_expiry         10 min               30 s
+///   task_copies            1 (+speculation)     configurable (§VI ext.)
+///   disk_check_interval    0 (off)              3 min (§IV.D.1 fix)
+struct MrConfig {
+  SimDuration heartbeat_interval = 3 * kSecond;
+  /// A tasktracker silent for this long is declared lost.
+  SimDuration tracker_expiry = 10 * kMinute;
+
+  /// Fraction of a job's maps that must finish before its reduces launch.
+  double reduce_slowstart = 0.05;
+  /// Concurrent shuffle fetches per reduce task.
+  int parallel_copies = 5;
+
+  SimDuration task_startup = kSecond;      // JVM spin-up
+  SimDuration task_timeout = 10 * kMinute; // stuck-attempt kill
+  int max_attempts = 4;                    // per task before the job fails
+  /// Task failures on one tracker before the job blacklists it.
+  int tracker_blacklist_failures = 4;
+
+  bool speculative_execution = true;
+  /// Speculate when an attempt has run this factor longer than the mean
+  /// completed duration (the paper's "1/3 slower than average").
+  double speculative_slowness = 4.0 / 3.0;
+
+  /// §VI extension: run every task as N concurrent copies, take the
+  /// fastest. 1 = stock behaviour.
+  int task_copies = 1;
+
+  /// Delay scheduling (Zaharia et al., EuroSys'10 — the paper the HOG
+  /// workload derives from): when the head-of-line job cannot place a map
+  /// node-locally on the offering tracker, skip it for up to
+  /// `locality_wait_node` before conceding a rack-local launch, and a
+  /// further `locality_wait_rack` before conceding an off-rack launch.
+  /// Zero disables (stock FIFO behaviour).
+  SimDuration locality_wait_node = 0;
+  SimDuration locality_wait_rack = 0;
+
+  /// How quickly a zombie tracker's doomed attempt fails (it cannot save
+  /// input data to its deleted working directory, §IV.D.1).
+  SimDuration zombie_fail_delay = kSecond;
+  /// Tasktracker working-directory probe (HOG fix); 0 disables.
+  SimDuration disk_check_interval = 0;
+};
+
+/// Why an attempt failed; used for failure-injection accounting.
+enum class FailureKind {
+  kNone,
+  kInputUnavailable,  // every input replica unreadable
+  kDiskFull,          // §IV.D.2 out-of-disk
+  kZombieDir,         // §IV.D.1 deleted working directory
+  kTimeout,
+  kTrackerLost,
+  kShuffleStalled,    // reduce could not obtain some map output
+  kOutputWrite,       // HDFS output write failed (no targets / all died)
+};
+
+const char* FailureKindName(FailureKind kind);
+
+}  // namespace hogsim::mr

@@ -1,0 +1,258 @@
+#include "src/net/flow_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hogsim::net {
+
+namespace {
+// Loopback "transfers" (same node) model a local handoff; they bypass NIC
+// accounting at an in-memory copy rate.
+constexpr Rate kLoopbackRate = 4.0 * 1024 * 1024 * 1024;
+}  // namespace
+
+FlowNetwork::FlowNetwork(sim::Simulation& sim, FlowNetworkConfig config)
+    : sim_(sim), config_(config) {}
+
+FlowNetwork::LinkId FlowNetwork::AddLink(Rate capacity) {
+  assert(capacity > 0);
+  links_.push_back(Link{capacity, {}});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+SiteId FlowNetwork::AddSite(Rate uplink) {
+  sites_.push_back(Site{AddLink(uplink), AddLink(uplink)});
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+NodeId FlowNetwork::AddNode(SiteId site, Rate nic) {
+  assert(site < sites_.size());
+  nodes_.push_back(Node{site, AddLink(nic), AddLink(nic)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+SimDuration FlowNetwork::Latency(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  const SimDuration base = nodes_[a].site == nodes_[b].site
+                               ? config_.lan_latency
+                               : config_.wan_latency;
+  return base + config_.crypto_latency;
+}
+
+FlowId FlowNetwork::StartFlow(NodeId src, NodeId dst, Bytes bytes,
+                              FlowCallback done) {
+  assert(src < nodes_.size() && dst < nodes_.size());
+  const FlowId id = next_flow_++;
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.total = static_cast<double>(std::max<Bytes>(bytes, 0)) *
+               (1.0 + std::max(0.0, config_.crypto_byte_overhead));
+  flow.remaining = flow.total;
+  flow.done = std::move(done);
+  flows_.emplace(id, std::move(flow));
+  flows_by_node_[src].insert(id);
+  if (dst != src) flows_by_node_[dst].insert(id);
+
+  const SimDuration latency = Latency(src, dst);
+  auto& stored = flows_.at(id);
+  stored.completion =
+      sim_.ScheduleAfter(latency, [this, id] { Activate(id); });
+  return id;
+}
+
+void FlowNetwork::Activate(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  flow.active = true;
+  flow.last_update = sim_.now();
+
+  if (flow.src == flow.dst) {
+    flow.rate = kLoopbackRate;
+    RescheduleCompletion(id, flow);
+    return;
+  }
+
+  const Node& s = nodes_[flow.src];
+  const Node& d = nodes_[flow.dst];
+  flow.path = {s.tx, d.rx};
+  if (s.site != d.site) {
+    flow.cross_site = true;
+    flow.path.push_back(sites_[s.site].wan_tx);
+    flow.path.push_back(sites_[d.site].wan_rx);
+  }
+  for (LinkId l : flow.path) links_[l].flows.insert(id);
+  Reallocate(flow.path);
+}
+
+void FlowNetwork::AdvanceFlow(Flow& flow) {
+  if (!flow.active) return;
+  const SimTime now = sim_.now();
+  if (now > flow.last_update && flow.rate > 0.0) {
+    flow.remaining -= flow.rate * ToSeconds(now - flow.last_update);
+    if (flow.remaining < 0.0) flow.remaining = 0.0;
+  }
+  flow.last_update = now;
+}
+
+Rate FlowNetwork::EvenShareRate(const Flow& flow) const {
+  Rate rate = kLoopbackRate;
+  for (LinkId l : flow.path) {
+    const auto n = links_[l].flows.size();
+    assert(n > 0);
+    rate = std::min(rate, links_[l].capacity / static_cast<double>(n));
+  }
+  if (flow.cross_site && config_.wan_flow_cap > 0.0) {
+    rate = std::min(rate, config_.wan_flow_cap);
+  }
+  return rate;
+}
+
+void FlowNetwork::RescheduleCompletion(FlowId id, Flow& flow) {
+  sim_.Cancel(flow.completion);
+  if (flow.rate <= 0.0) return;  // starved; rescheduled on next change
+  const auto remaining =
+      static_cast<Bytes>(std::ceil(flow.remaining));
+  const SimDuration eta = TransferTime(remaining, flow.rate);
+  flow.completion =
+      sim_.ScheduleAfter(eta, [this, id] { FinishFlow(id, true); });
+}
+
+void FlowNetwork::Reallocate(const std::vector<LinkId>& touched) {
+  if (config_.sharing == SharingPolicy::kMaxMinFair) {
+    ReallocateMaxMin();
+    return;
+  }
+  // Even-share: only flows crossing a touched link can change rate.
+  std::unordered_set<FlowId> affected;
+  for (LinkId l : touched) {
+    for (FlowId f : links_[l].flows) affected.insert(f);
+  }
+  for (FlowId f : affected) {
+    Flow& flow = flows_.at(f);
+    const Rate rate = EvenShareRate(flow);
+    // WAN-capped (or otherwise unmoved) flows keep their trajectory: the
+    // linear extrapolation from last_update stays valid, so skipping the
+    // advance + reschedule is exact, and it turns hot-link churn from
+    // O(flows-on-link) heap operations into O(changed flows).
+    if (rate == flow.rate && flow.completion.pending()) continue;
+    AdvanceFlow(flow);
+    flow.rate = rate;
+    RescheduleCompletion(f, flow);
+  }
+}
+
+void FlowNetwork::ReallocateMaxMin() {
+  // Progressive filling: repeatedly saturate the most-contended link.
+  struct LinkState {
+    double remaining;
+    std::size_t unfixed;
+  };
+  std::vector<LinkState> state(links_.size());
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    state[l] = {links_[l].capacity, links_[l].flows.size()};
+  }
+  std::unordered_map<FlowId, bool> fixed;
+  std::size_t unfixed_total = 0;
+  for (auto& [id, flow] : flows_) {
+    if (flow.active && !flow.path.empty()) {
+      AdvanceFlow(flow);
+      fixed[id] = false;
+      ++unfixed_total;
+    }
+  }
+  while (unfixed_total > 0) {
+    double best_share = 0.0;
+    LinkId best_link = 0;
+    bool found = false;
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (state[l].unfixed == 0) continue;
+      const double share =
+          state[l].remaining / static_cast<double>(state[l].unfixed);
+      if (!found || share < best_share) {
+        best_share = share;
+        best_link = static_cast<LinkId>(l);
+        found = true;
+      }
+    }
+    if (!found) break;
+    // Fix every unfixed flow crossing the bottleneck at the fair share.
+    const auto flows_here = links_[best_link].flows;  // copy: we mutate state
+    for (FlowId f : flows_here) {
+      auto fit = fixed.find(f);
+      if (fit == fixed.end() || fit->second) continue;
+      fit->second = true;
+      --unfixed_total;
+      Flow& flow = flows_.at(f);
+      flow.rate = best_share;
+      // The WAN cap is applied as a post-hoc ceiling under max-min fairness
+      // (slightly non-work-conserving; the capped residue is not
+      // redistributed).
+      if (flow.cross_site && config_.wan_flow_cap > 0.0) {
+        flow.rate = std::min(flow.rate, config_.wan_flow_cap);
+      }
+      for (LinkId l : flow.path) {
+        state[l].remaining -= best_share;
+        if (state[l].remaining < 0.0) state[l].remaining = 0.0;
+        assert(state[l].unfixed > 0);
+        --state[l].unfixed;
+      }
+    }
+  }
+  for (auto& [id, was_fixed] : fixed) {
+    (void)was_fixed;
+    RescheduleCompletion(id, flows_.at(id));
+  }
+}
+
+void FlowNetwork::RemoveFromLinks(Flow& flow, FlowId id) {
+  for (LinkId l : flow.path) links_[l].flows.erase(id);
+}
+
+void FlowNetwork::FinishFlow(FlowId id, bool ok) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  sim_.Cancel(flow.completion);
+  AdvanceFlow(flow);
+  // A successful completion delivers the whole payload: the scheduled
+  // completion time already covers any sub-tick rounding remainder.
+  if (ok) delivered_ += static_cast<Bytes>(std::llround(flow.total));
+  const std::vector<LinkId> path = flow.path;
+  RemoveFromLinks(flow, id);
+  flows_by_node_[flow.src].erase(id);
+  flows_by_node_[flow.dst].erase(id);
+  FlowCallback done = std::move(flow.done);
+  flows_.erase(it);
+  Reallocate(path);
+  if (done) done(ok);
+}
+
+void FlowNetwork::CancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  sim_.Cancel(flow.completion);
+  const std::vector<LinkId> path = flow.path;
+  RemoveFromLinks(flow, id);
+  flows_by_node_[flow.src].erase(id);
+  flows_by_node_[flow.dst].erase(id);
+  flows_.erase(it);
+  Reallocate(path);
+}
+
+void FlowNetwork::FailFlowsAtNode(NodeId node) {
+  auto it = flows_by_node_.find(node);
+  if (it == flows_by_node_.end()) return;
+  const std::vector<FlowId> ids(it->second.begin(), it->second.end());
+  for (FlowId id : ids) FinishFlow(id, false);
+}
+
+Rate FlowNetwork::FlowRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return (it != flows_.end() && it->second.active) ? it->second.rate : 0.0;
+}
+
+}  // namespace hogsim::net

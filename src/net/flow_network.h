@@ -1,0 +1,166 @@
+// Flow-level network model.
+//
+// The simulator moves data as fluid "flows" over a two-level topology that
+// mirrors the paper's environment: every node has a NIC, every site has a
+// WAN uplink shared by all its nodes, and the WAN core is unconstrained.
+// Intra-site transfers traverse only the two NICs; inter-site transfers
+// additionally traverse both sites' uplinks. This captures exactly the
+// asymmetry HOG's site awareness exploits (intra-site bandwidth >> WAN).
+//
+// Bandwidth sharing between concurrent flows is pluggable:
+//  * kEvenShare (default): each link splits its capacity evenly among the
+//    flows crossing it and a flow runs at the minimum share along its path.
+//    Cheap to maintain incrementally; slightly pessimistic because a flow
+//    bottlenecked elsewhere does not return its unused share.
+//  * kMaxMinFair: exact progressive-filling max-min fairness, recomputed
+//    globally on every change. Used in tests and microbenches as the
+//    reference allocation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/util/units.h"
+
+namespace hogsim::net {
+
+using NodeId = std::uint32_t;
+using SiteId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
+constexpr FlowId kInvalidFlow = 0;
+
+enum class SharingPolicy { kEvenShare, kMaxMinFair };
+
+struct FlowNetworkConfig {
+  SharingPolicy sharing = SharingPolicy::kEvenShare;
+  SimDuration lan_latency = 200;          // 0.2 ms
+  SimDuration wan_latency = 40 * kMillisecond;
+  /// Per-flow ceiling on inter-site transfers: a single 2012-era TCP
+  /// stream over a ~40 ms-RTT path is window-limited far below link rate.
+  /// Applied on top of the sharing policy; <= 0 disables the cap.
+  Rate wan_flow_cap = Mbps(32.0);
+
+  /// §VI security model (PKI-encrypted HTTP): per-message handshake and
+  /// framing latency added to every non-loopback exchange, and a byte
+  /// inflation + cipher cost factor applied to bulk transfers. Zero =
+  /// plain HTTP (the paper's current version).
+  SimDuration crypto_latency = 0;
+  double crypto_byte_overhead = 0.0;
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(sim::Simulation& sim, FlowNetworkConfig config = {});
+
+  /// Adds a site with the given aggregate uplink capacity (applied
+  /// independently to the outbound and inbound directions).
+  SiteId AddSite(Rate uplink);
+
+  /// Adds a node with the given NIC rate (again per direction).
+  NodeId AddNode(SiteId site, Rate nic);
+
+  SiteId site_of(NodeId node) const { return nodes_[node].site; }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t site_count() const { return sites_.size(); }
+
+  /// One-way message latency between two nodes (LAN within a site, WAN
+  /// across sites, zero to self). Control messages (heartbeats, RPCs) are
+  /// modeled as pure latency since their payloads are negligible.
+  SimDuration Latency(NodeId a, NodeId b) const;
+
+  /// Completion callback: `ok` is false when the flow was failed (endpoint
+  /// death) rather than finished.
+  using FlowCallback = std::function<void(bool ok)>;
+
+  /// Starts moving `bytes` from `src` to `dst`. Latency is paid up front,
+  /// then the flow competes for bandwidth. A zero/negative byte count
+  /// completes after latency alone. Loopback (src == dst) is free of NIC
+  /// constraints and completes after a nominal memcpy delay.
+  FlowId StartFlow(NodeId src, NodeId dst, Bytes bytes, FlowCallback done);
+
+  /// Cancels a flow without invoking its callback. No-op on unknown ids.
+  void CancelFlow(FlowId id);
+
+  /// Fails every flow touching `node` (its callback fires with ok=false).
+  /// Invoked by the grid layer when a node is preempted.
+  void FailFlowsAtNode(NodeId node);
+
+  /// Instantaneous rate of a flow in bytes/sec; 0 if unknown or latent.
+  Rate FlowRate(FlowId id) const;
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Total bytes fully delivered so far (conservation checks in tests).
+  Bytes delivered_bytes() const { return delivered_; }
+
+  const FlowNetworkConfig& config() const { return config_; }
+
+ private:
+  using LinkId = std::uint32_t;
+
+  struct Link {
+    Rate capacity;
+    std::unordered_set<FlowId> flows;
+  };
+
+  struct Node {
+    SiteId site;
+    LinkId tx;
+    LinkId rx;
+  };
+
+  struct Site {
+    LinkId wan_tx;
+    LinkId wan_rx;
+  };
+
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    bool cross_site = false;
+    std::vector<LinkId> path;  // empty while latent or for loopback
+    double total;              // bytes requested
+    double remaining;          // bytes still to move
+    Rate rate = 0.0;
+    SimTime last_update = 0;
+    bool active = false;  // false during the latency phase
+    FlowCallback done;
+    sim::EventHandle completion;
+  };
+
+  LinkId AddLink(Rate capacity);
+  void Activate(FlowId id);
+  void FinishFlow(FlowId id, bool ok);
+  void RemoveFromLinks(Flow& flow, FlowId id);
+
+  /// Brings `flow.remaining` up to date with the clock.
+  void AdvanceFlow(Flow& flow);
+
+  /// Recomputes rates and completion events for the flows crossing the
+  /// given links (even-share) or for all flows (max-min).
+  void Reallocate(const std::vector<LinkId>& touched);
+
+  Rate EvenShareRate(const Flow& flow) const;
+  void ReallocateMaxMin();
+  void RescheduleCompletion(FlowId id, Flow& flow);
+
+  sim::Simulation& sim_;
+  FlowNetworkConfig config_;
+  std::vector<Link> links_;
+  std::vector<Node> nodes_;
+  std::vector<Site> sites_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::unordered_map<NodeId, std::unordered_set<FlowId>> flows_by_node_;
+  FlowId next_flow_ = 1;
+  Bytes delivered_ = 0;
+};
+
+}  // namespace hogsim::net

@@ -1,0 +1,88 @@
+#include "src/sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hogsim::sim {
+
+EventHandle Simulation::ScheduleAt(SimTime t, Callback cb) {
+  assert(cb);
+  if (t < now_) t = now_;
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push_back(Entry{t, next_seq_++, std::move(cb), state});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+  ++live_;
+  return EventHandle(std::move(state));
+}
+
+EventHandle Simulation::ScheduleAfter(SimDuration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void Simulation::Cancel(EventHandle& handle) {
+  if (handle.state_ && !handle.state_->done) {
+    handle.state_->done = true;
+    assert(live_ > 0);
+    --live_;
+  }
+  handle.state_.reset();
+}
+
+bool Simulation::Step(SimTime until) {
+  while (!heap_.empty()) {
+    if (heap_.front().time > until) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    if (entry.state->done) continue;  // cancelled; already uncounted
+    entry.state->done = true;
+    --live_;
+    assert(entry.time >= now_);
+    now_ = entry.time;
+    ++executed_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::RunUntil(SimTime until) {
+  while (Step(until)) {
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulation::RunAll(SimTime hard_limit) {
+  limit_reached_ = false;
+  while (Step(hard_limit)) {
+  }
+  limit_reached_ = live_ > 0;
+}
+
+void PeriodicTimer::Start(Simulation& sim, SimDuration period,
+                          std::function<void()> on_tick) {
+  assert(period > 0 && on_tick);
+  Stop();
+  sim_ = &sim;
+  period_ = period;
+  on_tick_ = std::move(on_tick);
+  running_ = true;
+  Arm();
+}
+
+void PeriodicTimer::Stop() {
+  if (sim_ != nullptr) sim_->Cancel(pending_);
+  running_ = false;
+}
+
+void PeriodicTimer::Arm() {
+  pending_ = sim_->ScheduleAfter(period_, [this] {
+    if (!running_) return;
+    // Re-arm before ticking so a callback that calls Stop() wins.
+    Arm();
+    on_tick_();
+  });
+}
+
+}  // namespace hogsim::sim

@@ -1,0 +1,132 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns the virtual clock and the pending-event queue. All other
+// subsystems (network flows, disks, daemons, schedulers) are driven purely
+// by callbacks scheduled here, which makes every run single-threaded and
+// deterministic: two events at the same timestamp fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hogsim::sim {
+
+/// Opaque, copyable handle to a scheduled event; used to cancel it.
+/// A default-constructed handle refers to nothing and is safe to cancel.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True while the event is still pending (not fired, not cancelled).
+  bool pending() const { return state_ && !state_->done; }
+
+ private:
+  friend class Simulation;
+  struct State {
+    bool done = false;  // fired or cancelled
+  };
+  explicit EventHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t`; times in the past are clamped to
+  /// now (they fire next, after already-queued events at `now`). Returns a
+  /// handle that can cancel the event before it fires.
+  EventHandle ScheduleAt(SimTime t, Callback cb);
+
+  /// Schedules `cb` after `delay` ticks (negative delays clamp to 0).
+  EventHandle ScheduleAfter(SimDuration delay, Callback cb);
+
+  /// Cancels a pending event; no-op if it already fired, was already
+  /// cancelled, or the handle is empty.
+  void Cancel(EventHandle& handle);
+
+  /// Processes every event with time <= `until`, then advances the clock to
+  /// `until` even if the queue drained earlier.
+  void RunUntil(SimTime until);
+
+  /// Processes all events. `hard_limit` guards against runaway schedules:
+  /// execution stops (and LimitReached() returns true) if work remains past
+  /// the limit.
+  void RunAll(SimTime hard_limit = kHour * 24 * 365);
+
+  /// True if the last RunAll stopped at its hard limit with work pending.
+  bool LimitReached() const { return limit_reached_; }
+
+  /// Number of events executed so far (for microbenches and sanity checks).
+  std::uint64_t executed() const { return executed_; }
+
+  /// Number of live (uncancelled, unfired) events in the queue.
+  std::size_t pending() const { return live_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    Callback cb;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  // Min-heap ordering (std::*_heap builds a max-heap, so invert).
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  /// Pops and executes the earliest event; skips cancelled entries.
+  /// Returns false when the queue is empty.
+  bool Step(SimTime until);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+  bool limit_reached_ = false;
+  std::vector<Entry> heap_;
+};
+
+/// Repeatedly invokes a callback every `period` ticks until stopped.
+/// Mirrors daemon heartbeat loops. The callback fires first after one full
+/// period (not immediately), matching how Hadoop daemons report.
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+  ~PeriodicTimer() { Stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts ticking. If already running, restarts with the new settings.
+  void Start(Simulation& sim, SimDuration period,
+             std::function<void()> on_tick);
+
+  /// Stops future ticks; safe to call repeatedly or when never started.
+  void Stop();
+
+  bool running() const { return running_; }
+
+ private:
+  void Arm();
+
+  Simulation* sim_ = nullptr;
+  SimDuration period_ = 0;
+  std::function<void()> on_tick_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace hogsim::sim

@@ -1,0 +1,105 @@
+#include "src/storage/disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace hogsim::storage {
+
+FairQueue::FairQueue(sim::Simulation& sim, Rate rate) : sim_(sim), rate_(rate) {
+  assert(rate > 0);
+}
+
+FairQueue::OpId FairQueue::Submit(Bytes bytes, std::function<void()> done) {
+  AdvanceAll();
+  const OpId id = next_op_++;
+  Op op;
+  op.remaining = static_cast<double>(std::max<Bytes>(bytes, 0));
+  op.last_update = sim_.now();
+  op.done = std::move(done);
+  ops_.emplace(id, std::move(op));
+  RescheduleAll();
+  return id;
+}
+
+void FairQueue::Cancel(OpId id) {
+  auto it = ops_.find(id);
+  if (it == ops_.end()) return;
+  AdvanceAll();
+  sim_.Cancel(it->second.completion);
+  ops_.erase(it);
+  RescheduleAll();
+}
+
+void FairQueue::CancelAll() {
+  for (auto& [id, op] : ops_) sim_.Cancel(op.completion);
+  ops_.clear();
+}
+
+void FairQueue::AdvanceAll() {
+  if (ops_.empty()) return;
+  const SimTime now = sim_.now();
+  const Rate share = rate_ / static_cast<double>(ops_.size());
+  for (auto& [id, op] : ops_) {
+    if (now > op.last_update) {
+      op.remaining -= share * ToSeconds(now - op.last_update);
+      if (op.remaining < 0.0) op.remaining = 0.0;
+    }
+    op.last_update = now;
+  }
+}
+
+void FairQueue::RescheduleAll() {
+  if (ops_.empty()) return;
+  const Rate share = rate_ / static_cast<double>(ops_.size());
+  for (auto& [id, op] : ops_) {
+    sim_.Cancel(op.completion);
+    const auto remaining = static_cast<Bytes>(std::ceil(op.remaining));
+    const SimDuration eta = TransferTime(remaining, share);
+    const OpId captured = id;
+    op.completion =
+        sim_.ScheduleAfter(eta, [this, captured] { Finish(captured); });
+  }
+}
+
+void FairQueue::Finish(OpId id) {
+  auto it = ops_.find(id);
+  if (it == ops_.end()) return;
+  // Advance while the finishing op still counts toward the share, so the
+  // survivors' progress over the last interval uses the correct rate.
+  AdvanceAll();
+  std::function<void()> done = std::move(it->second.done);
+  ops_.erase(it);
+  RescheduleAll();
+  if (done) done();
+}
+
+Disk::Disk(sim::Simulation& sim, Bytes capacity, Rate bandwidth)
+    : capacity_(capacity), queue_(sim, bandwidth) {
+  assert(capacity > 0);
+}
+
+bool Disk::Reserve(Bytes bytes) {
+  assert(bytes >= 0);
+  if (used_ + bytes > capacity_) return false;
+  used_ += bytes;
+  return true;
+}
+
+void Disk::Release(Bytes bytes) {
+  assert(bytes >= 0);
+  used_ -= bytes;
+  assert(used_ >= 0);
+}
+
+FairQueue::OpId Disk::Read(Bytes bytes, std::function<void()> done) {
+  return queue_.Submit(bytes, std::move(done));
+}
+
+FairQueue::OpId Disk::Write(Bytes bytes, std::function<void()> done) {
+  if (!writable_) return FairQueue::kInvalidOp;
+  return queue_.Submit(bytes, std::move(done));
+}
+
+}  // namespace hogsim::storage

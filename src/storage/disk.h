@@ -1,0 +1,109 @@
+// Local disk model.
+//
+// Each worker node owns one Disk: a capacity budget (HDFS blocks plus
+// MapReduce intermediate output share it, which is what makes the paper's
+// §IV.D.2 disk-overflow failure reproducible) and a bandwidth budget that
+// concurrent I/O operations share evenly (single-spindle assumption).
+//
+// The zombie-datanode experience (§IV.D.1) is modeled through the
+// `writable` flag: when a site preempts a job but the daemons escape the
+// kill, the site removes the working directory — the disk stops being
+// writable while the daemon processes live on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/sim/simulation.h"
+#include "src/util/units.h"
+
+namespace hogsim::storage {
+
+/// A capacity-`rate` resource whose concurrent operations progress at
+/// rate / n. Completion callbacks fire in deterministic order.
+class FairQueue {
+ public:
+  using OpId = std::uint64_t;
+  static constexpr OpId kInvalidOp = 0;
+
+  FairQueue(sim::Simulation& sim, Rate rate);
+
+  /// Starts an operation moving `bytes`; `done` fires on completion.
+  OpId Submit(Bytes bytes, std::function<void()> done);
+
+  /// Drops an operation without firing its callback. No-op on unknown ids.
+  void Cancel(OpId id);
+
+  /// Drops every pending operation without callbacks (node death: the
+  /// owning tasks are being killed and clean themselves up).
+  void CancelAll();
+
+  std::size_t active() const { return ops_.size(); }
+  Rate rate() const { return rate_; }
+
+ private:
+  struct Op {
+    double remaining;
+    SimTime last_update;
+    std::function<void()> done;
+    sim::EventHandle completion;
+  };
+
+  void AdvanceAll();
+  void RescheduleAll();
+  void Finish(OpId id);
+
+  sim::Simulation& sim_;
+  Rate rate_;
+  std::unordered_map<OpId, Op> ops_;
+  OpId next_op_ = 1;
+};
+
+class Disk {
+ public:
+  /// `capacity` is the space available to Hadoop on the node; `bandwidth`
+  /// is the combined sequential read/write rate.
+  Disk(sim::Simulation& sim, Bytes capacity, Rate bandwidth);
+
+  // -- Capacity accounting ---------------------------------------------
+
+  /// Reserves space; returns false (and reserves nothing) if it would
+  /// exceed capacity. This is the ENOSPC path of §IV.D.2.
+  [[nodiscard]] bool Reserve(Bytes bytes);
+
+  /// Returns previously reserved space.
+  void Release(Bytes bytes);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free() const { return capacity_ - used_; }
+
+  // -- Bandwidth-shared I/O ---------------------------------------------
+
+  /// Timed read of `bytes`; shares bandwidth with all other ops.
+  FairQueue::OpId Read(Bytes bytes, std::function<void()> done);
+
+  /// Timed write. Fails immediately (returns kInvalidOp, callback NOT
+  /// invoked) when the disk is not writable — callers treat that as a task
+  /// failure, mirroring a deleted working directory.
+  FairQueue::OpId Write(Bytes bytes, std::function<void()> done);
+
+  void Cancel(FairQueue::OpId id) { queue_.Cancel(id); }
+  void CancelAll() { queue_.CancelAll(); }
+  std::size_t active_ops() const { return queue_.active(); }
+
+  // -- Zombie-mode support ----------------------------------------------
+
+  /// Simulates the site deleting (or restoring) the job working directory.
+  void set_writable(bool writable) { writable_ = writable; }
+  bool writable() const { return writable_; }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  bool writable_ = true;
+  FairQueue queue_;
+};
+
+}  // namespace hogsim::storage

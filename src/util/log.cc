@@ -1,0 +1,24 @@
+#include "src/util/log.h"
+
+#include <cstdio>
+
+namespace hogsim {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::Write(LogLevel level, SimTime now, std::string_view component,
+                   std::string_view message) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR",
+                                           "OFF"};
+  std::fprintf(stderr, "[%10.3fs] %-5s %.*s: %.*s\n", ToSeconds(now),
+               kNames[static_cast<int>(level)],
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace hogsim

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Components log with a simulated timestamp; the
+// default level is kWarn so tests and benches stay quiet unless a failure
+// needs explaining. Not thread-safe: the simulator is single-threaded by
+// design (determinism), so no synchronization is needed.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "src/util/units.h"
+
+namespace hogsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Writes one line: "[  123.456s] LEVEL component: message".
+  static void Write(LogLevel level, SimTime now, std::string_view component,
+                    std::string_view message);
+};
+
+/// Stream-style helper: HOG_LOG(kInfo, now, "namenode") << "node dead";
+class LogLine {
+ public:
+  LogLine(LogLevel level, SimTime now, std::string_view component)
+      : level_(level), now_(now), component_(component) {}
+  ~LogLine() {
+    if (level_ >= Logger::level()) {
+      Logger::Write(level_, now_, component_, stream_.str());
+    }
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= Logger::level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  SimTime now_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hogsim
+
+#define HOG_LOG(level, now, component) \
+  ::hogsim::LogLine(::hogsim::LogLevel::level, (now), (component))

@@ -1,0 +1,96 @@
+// Lightweight statistics helpers used by metrics collection and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hogsim {
+
+/// Online mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile over a stored sample (linear interpolation between
+/// order statistics). `q` in [0, 1].
+double Percentile(std::vector<double> samples, double q);
+
+/// A right-continuous step function of simulated time, e.g. "number of live
+/// nodes". Used for the Fig. 5 availability traces and the Table IV
+/// area-beneath-curve metric.
+class StepSeries {
+ public:
+  /// Records that the series takes value `value` from time `t` onward.
+  /// Times must be non-decreasing; equal times overwrite.
+  void Record(SimTime t, double value);
+
+  /// Value at time `t` (value of the latest record at or before `t`;
+  /// 0 before the first record).
+  double At(SimTime t) const;
+
+  /// Integral of the series over [from, to] in value·seconds. This is the
+  /// paper's "area beneath the curve" when the series is the live-node
+  /// count.
+  double AreaUnder(SimTime from, SimTime to) const;
+
+  /// Mean value over [from, to].
+  double MeanOver(SimTime from, SimTime to) const;
+
+  /// Samples the series every `step` ticks over [from, to], inclusive of
+  /// both endpoints. Used to print downsampled traces.
+  std::vector<std::pair<SimTime, double>> Sample(SimTime from, SimTime to,
+                                                 SimDuration step) const;
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<std::pair<SimTime, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_[bucket]; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hogsim

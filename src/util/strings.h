@@ -1,0 +1,32 @@
+// Small string helpers, including the DNS-based site detection rule the
+// paper uses for site awareness (worker.site.edu -> site.edu).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hogsim {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Implements the paper's site-awareness rule (§III.B.1): worker nodes are
+/// grouped by the last two DNS labels, so "node042.red.unl.edu" maps to
+/// "unl.edu". Hostnames with fewer than two labels map to themselves;
+/// empty hostnames map to "unknown".
+std::string SiteFromHostname(std::string_view hostname);
+
+/// Renders `v` with `decimals` fractional digits.
+std::string FormatDouble(double v, int decimals);
+
+}  // namespace hogsim

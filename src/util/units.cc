@@ -1,0 +1,44 @@
+#include "src/util/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace hogsim {
+
+std::string FormatBytes(Bytes b) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB",
+                                                         "GiB", "TiB"};
+  double v = static_cast<double>(b);
+  std::size_t i = 0;
+  while (std::fabs(v) >= 1024.0 && i + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[64];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(b));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kSuffix[i]);
+  }
+  return buf;
+}
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double secs = ToSeconds(d);
+  if (secs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", secs * 1e3);
+  } else if (secs < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", secs);
+  } else if (secs < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", static_cast<int>(secs) / 60,
+                  static_cast<int>(secs) % 60);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%dh%02dm", static_cast<int>(secs) / 3600,
+                  (static_cast<int>(secs) % 3600) / 60);
+  }
+  return buf;
+}
+
+}  // namespace hogsim

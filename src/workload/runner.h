@@ -1,0 +1,67 @@
+// Drives a generated schedule against any wired system (HOG or the
+// dedicated cluster): pre-loads input datasets, replays the submission
+// schedule, and collects the paper's metrics (workload response time =
+// time from schedule start to the last job's completion).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/hdfs/namenode.h"
+#include "src/mapreduce/jobtracker.h"
+#include "src/sim/simulation.h"
+#include "src/util/stats.h"
+#include "src/workload/facebook.h"
+
+namespace hogsim::workload {
+
+struct WorkloadResult {
+  bool completed = false;       ///< all jobs reached a terminal state
+  SimTime started = 0;          ///< schedule start
+  double response_time_s = 0;   ///< start -> last completion (the paper's y-axis)
+  int succeeded = 0;
+  int failed = 0;
+  std::vector<double> job_response_s;        ///< per-job latencies (seconds)
+  std::map<int, RunningStats> per_bin_response_s;  ///< keyed by Table I bin
+};
+
+/// Runs the simulation loop until `done` or `deadline` (checks every
+/// `step`). Returns false on deadline.
+bool RunSimUntil(sim::Simulation& sim, const std::function<bool()>& done,
+                 SimTime deadline, SimDuration step = kSecond);
+
+class WorkloadRunner {
+ public:
+  WorkloadRunner(sim::Simulation& sim, mr::JobTracker& jobtracker,
+                 hdfs::Namenode& namenode, WorkloadConfig config = {});
+
+  /// Imports one input dataset per distinct job size (jobs of equal map
+  /// count share a dataset, as loadgen reuses pre-generated inputs).
+  /// Placement happens instantly — the paper uploads inputs before timing.
+  void PrepareInputs(const std::vector<ScheduledJob>& schedule);
+
+  /// Schedules every submission at `now + job.submit_time`.
+  void SubmitAll(const std::vector<ScheduledJob>& schedule);
+
+  /// True once every scheduled job was submitted and reached a terminal
+  /// state.
+  bool Done() const;
+
+  /// Runs the simulation until Done() or deadline; then gathers results.
+  WorkloadResult Run(SimTime deadline);
+
+  WorkloadResult Collect() const;
+
+ private:
+  sim::Simulation& sim_;
+  mr::JobTracker& jt_;
+  hdfs::Namenode& nn_;
+  WorkloadConfig config_;
+  std::map<int, hdfs::FileId> inputs_by_maps_;
+  std::vector<std::pair<mr::JobId, int>> submitted_;  // job id -> bin
+  std::size_t scheduled_ = 0;
+  std::size_t submissions_done_ = 0;
+  SimTime started_ = 0;
+};
+
+}  // namespace hogsim::workload

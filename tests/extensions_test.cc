@@ -1,0 +1,326 @@
+// Tests for the extension features: delay scheduling, job counters, job
+// history, timed uploads, decommissioning, and the §VI security model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/hdfs/datanode.h"
+#include "src/hdfs/dfs_client.h"
+#include "src/hdfs/namenode.h"
+#include "src/hdfs/placement.h"
+#include "src/hdfs/topology.h"
+#include "src/mapreduce/history.h"
+#include "src/mapreduce/jobtracker.h"
+#include "src/mapreduce/tasktracker.h"
+#include "src/workload/runner.h"
+
+namespace hogsim {
+namespace {
+
+// Multi-rack cluster harness with adjustable configs (distinct from the
+// flat MrHarness in mapreduce_test.cc: locality only matters with racks).
+class RackedHarness {
+ public:
+  RackedHarness(int racks, int per_rack, mr::MrConfig mr_config,
+                hdfs::HdfsConfig hdfs_config,
+                net::FlowNetworkConfig net_config = {})
+      : net_(sim_, net_config) {
+    const net::SiteId central = net_.AddSite(Gbps(10));
+    master_ = net_.AddNode(central, Gbps(1));
+    nn_ = std::make_unique<hdfs::Namenode>(
+        sim_, net_, master_, hdfs::SiteAwarenessScript(),
+        hdfs::MakeSiteAwarePlacement(), Rng(17), hdfs_config);
+    nn_->Start();
+    jt_ = std::make_unique<mr::JobTracker>(sim_, net_, *nn_, master_,
+                                           hdfs::SiteAwarenessScript(),
+                                           mr_config);
+    jt_->Start();
+    dfs_ = std::make_unique<hdfs::DfsClient>(*nn_);
+    for (int r = 0; r < racks; ++r) {
+      const net::SiteId site = net_.AddSite(Gbps(2));
+      for (int n = 0; n < per_rack; ++n) {
+        const net::NodeId node = net_.AddNode(site, Gbps(1));
+        disks_.push_back(
+            std::make_unique<storage::Disk>(sim_, 50 * kGiB, MiBps(80)));
+        const std::string hostname =
+            "w" + std::to_string(n) + ".rack" + std::to_string(r) + ".edu";
+        datanodes_.push_back(std::make_unique<hdfs::Datanode>(
+            sim_, net_, *nn_, hostname, node, *disks_.back()));
+        datanodes_.back()->Start();
+        trackers_.push_back(std::make_unique<mr::TaskTracker>(
+            sim_, net_, *jt_, *dfs_, hostname, node, *disks_.back(), 2, 1));
+        trackers_.back()->Start();
+      }
+    }
+  }
+
+  mr::JobId Submit(Bytes input_bytes, int reduces) {
+    mr::JobSpec spec;
+    spec.name = "xjob";
+    spec.input = nn_->ImportFile("in" + std::to_string(jt_->job_count()),
+                                 input_bytes);
+    spec.num_reduces = reduces;
+    spec.map_compute_rate = MiBps(20);
+    spec.reduce_compute_rate = MiBps(20);
+    return jt_->SubmitJob(spec);
+  }
+
+  bool RunToCompletion(SimTime deadline = 8 * kHour) {
+    return workload::RunSimUntil(
+        sim_, [&] { return jt_->AllJobsDone(); }, deadline);
+  }
+
+  sim::Simulation& sim() { return sim_; }
+  net::FlowNetwork& net() { return net_; }
+  hdfs::Namenode& nn() { return *nn_; }
+  mr::JobTracker& jt() { return *jt_; }
+  hdfs::DfsClient& dfs() { return *dfs_; }
+  hdfs::Datanode& datanode(std::size_t i) { return *datanodes_[i]; }
+  net::NodeId master() const { return master_; }
+
+ private:
+  sim::Simulation sim_;
+  net::FlowNetwork net_;
+  net::NodeId master_ = net::kInvalidNode;
+  std::unique_ptr<hdfs::Namenode> nn_;
+  std::unique_ptr<mr::JobTracker> jt_;
+  std::unique_ptr<hdfs::DfsClient> dfs_;
+  std::vector<std::unique_ptr<storage::Disk>> disks_;
+  std::vector<std::unique_ptr<hdfs::Datanode>> datanodes_;
+  std::vector<std::unique_ptr<mr::TaskTracker>> trackers_;
+};
+
+hdfs::HdfsConfig ScarceReplication() {
+  hdfs::HdfsConfig config;
+  config.default_replication = 1;  // locality is scarce: delay sched. bites
+  return config;
+}
+
+TEST(DelayScheduling, ImprovesMapLocality) {
+  auto run = [](SimDuration wait) {
+    mr::MrConfig mr_config;
+    mr_config.locality_wait_node = wait;
+    mr_config.locality_wait_rack = wait;
+    RackedHarness h(3, 4, mr_config, ScarceReplication());
+    const auto job = h.Submit(24 * 64 * kMiB, 2);
+    EXPECT_TRUE(h.RunToCompletion());
+    const auto& info = h.jt().job(job);
+    EXPECT_EQ(info.state, mr::JobState::kSucceeded);
+    return info;
+  };
+  const auto fifo = run(0);
+  const auto delayed = run(10 * kSecond);
+  // With single-replica input on 12 nodes, plain FIFO launches many maps
+  // off-node; delay scheduling waits briefly and recovers locality.
+  EXPECT_GT(delayed.data_local_maps, fifo.data_local_maps);
+  EXPECT_LT(delayed.remote_maps + delayed.rack_local_maps,
+            fifo.remote_maps + fifo.rack_local_maps);
+}
+
+TEST(DelayScheduling, WaitExpiryPreventsStarvation) {
+  mr::MrConfig mr_config;
+  mr_config.locality_wait_node = 5 * kSecond;
+  mr_config.locality_wait_rack = 5 * kSecond;
+  RackedHarness h(1, 2, mr_config, ScarceReplication());
+  // 2 nodes, input on at most 2 nodes; job must still complete even if no
+  // offer is ever node-local for some maps.
+  const auto job = h.Submit(6 * 64 * kMiB, 1);
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_EQ(h.jt().job(job).state, mr::JobState::kSucceeded);
+}
+
+TEST(Counters, ConserveBytesThroughThePipeline) {
+  RackedHarness h(2, 3, {}, {});
+  const auto job = h.Submit(6 * 64 * kMiB, 3);
+  ASSERT_TRUE(h.RunToCompletion());
+  const mr::JobCounters& c = h.jt().job(job).counters;
+  EXPECT_EQ(c.map_input_bytes, 6 * 64 * kMiB);
+  EXPECT_EQ(c.local_input_bytes + c.remote_input_bytes, c.map_input_bytes);
+  EXPECT_EQ(c.map_output_bytes, 6 * 64 * kMiB);  // selectivity 1.0
+  // Shuffle moves every map output partition exactly once (integer
+  // division truncates per partition).
+  EXPECT_NEAR(static_cast<double>(c.shuffle_bytes),
+              static_cast<double>(c.map_output_bytes), 64.0 * 3);
+  EXPECT_NEAR(static_cast<double>(c.reduce_output_bytes),
+              0.4 * static_cast<double>(c.shuffle_bytes),
+              static_cast<double>(kMiB));
+  // HDFS agrees with the reduce-side counter.
+  EXPECT_EQ(h.nn().FileSize(h.jt().job(job).output_file),
+            c.reduce_output_bytes);
+}
+
+TEST(Counters, LocalityCountersMatchSchedulerView) {
+  hdfs::HdfsConfig hdfs_config;
+  hdfs_config.default_replication = 3;
+  RackedHarness h(2, 4, {}, hdfs_config);
+  const auto job = h.Submit(8 * 64 * kMiB, 2);
+  ASSERT_TRUE(h.RunToCompletion());
+  const auto& info = h.jt().job(job);
+  // Maps launched node-local read locally (modulo re-resolution).
+  if (info.remote_maps == 0 && info.rack_local_maps == 0) {
+    EXPECT_EQ(info.counters.remote_input_bytes, 0);
+  }
+}
+
+TEST(History, RecordsFullAttemptLifecycle) {
+  RackedHarness h(2, 3, {}, {});
+  mr::JobHistory history;
+  history.Attach(h.jt());
+  const auto job = h.Submit(4 * 64 * kMiB, 2);
+  ASSERT_TRUE(h.RunToCompletion());
+  history.RecordJob(h.jt().job(job));
+
+  EXPECT_EQ(history.Count(mr::HistoryEventKind::kAttemptLaunched),
+            history.Count(mr::HistoryEventKind::kAttemptSucceeded));
+  EXPECT_EQ(history.Count(mr::HistoryEventKind::kAttemptSucceeded), 6u);
+  EXPECT_EQ(history.Count(mr::HistoryEventKind::kJobSucceeded), 1u);
+
+  const auto events = history.ForJob(job);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  std::ostringstream csv;
+  history.WriteCsv(csv);
+  EXPECT_NE(csv.str().find("attempt-succeeded"), std::string::npos);
+  EXPECT_NE(csv.str().find("job-succeeded"), std::string::npos);
+}
+
+TEST(History, RecordsFailures) {
+  mr::MrConfig mr_config;
+  mr_config.max_attempts = 2;
+  mr_config.zombie_fail_delay = 100 * kMillisecond;
+  RackedHarness h(1, 2, mr_config, {});
+  mr::JobHistory history;
+  history.Attach(h.jt());
+  const auto job = h.Submit(2 * 64 * kMiB, 1);
+  // Zombify everything: attempts fail, the job fails.
+  for (int i = 0; i < 2; ++i) {
+    h.datanode(static_cast<std::size_t>(i)).EnterZombieMode();
+  }
+  // Tracker zombie mode needs the tracker handles; reuse datanode disks:
+  // the shared Disk is already unwritable, so tracker writes fail.
+  ASSERT_TRUE(h.RunToCompletion(kHour));
+  history.RecordJob(h.jt().job(job));
+  EXPECT_EQ(h.jt().job(job).state, mr::JobState::kFailed);
+  EXPECT_GT(history.Count(mr::HistoryEventKind::kAttemptFailed), 0u);
+  EXPECT_EQ(history.Count(mr::HistoryEventKind::kJobFailed), 1u);
+}
+
+TEST(Upload, TimedUploadCreatesReplicatedFile) {
+  RackedHarness h(2, 3, {}, {});
+  bool done = false;
+  hdfs::FileId uploaded = hdfs::kInvalidFile;
+  const SimTime start = h.sim().now();
+  h.dfs().UploadFile(h.master(), "staged-in", 5 * 64 * kMiB, 3,
+                     [&](bool ok, hdfs::FileId file) {
+                       EXPECT_TRUE(ok);
+                       done = true;
+                       uploaded = file;
+                     });
+  h.sim().RunAll(kHour);
+  ASSERT_TRUE(done);
+  EXPECT_GT(h.sim().now() - start, 0) << "upload must take simulated time";
+  EXPECT_EQ(h.nn().FileSize(uploaded), 5 * 64 * kMiB);
+  const auto blocks = h.nn().GetFileBlocks(uploaded);
+  EXPECT_EQ(blocks.size(), 5u);
+  for (const auto& loc : blocks) EXPECT_EQ(loc.datanodes.size(), 3u);
+}
+
+TEST(Upload, PartialTailBlock) {
+  RackedHarness h(2, 3, {}, {});
+  bool done = false;
+  hdfs::FileId uploaded = hdfs::kInvalidFile;
+  h.dfs().UploadFile(h.master(), "odd-size", 64 * kMiB + 10 * kMiB, 2,
+                     [&](bool ok, hdfs::FileId file) {
+                       done = ok;
+                       uploaded = file;
+                     });
+  h.sim().RunAll(kHour);
+  ASSERT_TRUE(done);
+  const auto blocks = h.nn().GetFileBlocks(uploaded);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[1].size, 10 * kMiB);
+}
+
+TEST(Upload, CancelStopsTheStream) {
+  RackedHarness h(2, 3, {}, {});
+  bool fired = false;
+  hdfs::DfsOp op = h.dfs().UploadFile(
+      h.master(), "cancelled", 50 * 64 * kMiB, 2,
+      [&](bool, hdfs::FileId) { fired = true; });
+  h.sim().RunUntil(2 * kSecond);
+  op.Cancel();
+  h.sim().RunAll(kHour);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Decommission, EvacuatesAndSignalsReady) {
+  hdfs::HdfsConfig config;
+  config.default_replication = 3;
+  RackedHarness h(3, 3, {}, config);
+  h.nn().ImportFile("data", 10 * 64 * kMiB);
+  // Decommission the first node; it must be excluded from new placements,
+  // evacuated, and eventually flagged ready.
+  h.nn().StartDecommission(0);
+  EXPECT_FALSE(h.nn().DecommissionReady(0) &&
+               !h.nn().datanode(0).blocks.empty());
+  ASSERT_TRUE(workload::RunSimUntil(
+      h.sim(), [&] { return h.nn().DecommissionReady(0); }, kHour));
+  // Every block it holds is now fully replicated elsewhere: shutting the
+  // node down must not create under-replication.
+  h.datanode(0).Shutdown();
+  h.sim().RunUntil(h.sim().now() + 2 * kMinute);
+  h.sim().RunUntil(h.sim().now() + 15 * kMinute);  // stock recheck is slow
+  EXPECT_EQ(h.nn().missing_blocks(), 0u);
+}
+
+TEST(Decommission, ExcludedFromNewPlacements) {
+  hdfs::HdfsConfig config;
+  config.default_replication = 2;
+  RackedHarness h(2, 3, {}, config);
+  h.nn().StartDecommission(0);
+  for (int i = 0; i < 10; ++i) {
+    const auto file = h.nn().ImportFile("f" + std::to_string(i), 64 * kMiB);
+    for (const auto& loc : h.nn().GetFileBlocks(file)) {
+      for (auto dn : loc.datanodes) EXPECT_NE(dn, 0u);
+    }
+  }
+}
+
+TEST(Security, CryptoOverheadSlowsTransfersAndRpc) {
+  net::FlowNetworkConfig plain;
+  net::FlowNetworkConfig pki;
+  pki.crypto_latency = 5 * kMillisecond;
+  pki.crypto_byte_overhead = 0.15;
+
+  auto time_job = [](net::FlowNetworkConfig net_config) {
+    RackedHarness h(2, 3, {}, {}, net_config);
+    const auto job = h.Submit(6 * 64 * kMiB, 2);
+    EXPECT_TRUE(h.RunToCompletion());
+    EXPECT_EQ(h.jt().job(job).state, mr::JobState::kSucceeded);
+    return ToSeconds(h.jt().job(job).ResponseTime());
+  };
+  const double plain_s = time_job(plain);
+  const double pki_s = time_job(pki);
+  EXPECT_GT(pki_s, plain_s) << "encryption must cost time";
+  EXPECT_LT(pki_s, plain_s * 2.0) << "...but not absurdly much";
+}
+
+TEST(Security, LatencyAccountsCryptoHandshake) {
+  sim::Simulation sim;
+  net::FlowNetworkConfig config;
+  config.crypto_latency = 7 * kMillisecond;
+  net::FlowNetwork net(sim, config);
+  const auto s1 = net.AddSite(Gbps(1));
+  const auto s2 = net.AddSite(Gbps(1));
+  const auto a = net.AddNode(s1, Gbps(1));
+  const auto b = net.AddNode(s1, Gbps(1));
+  const auto c = net.AddNode(s2, Gbps(1));
+  EXPECT_EQ(net.Latency(a, b), config.lan_latency + 7 * kMillisecond);
+  EXPECT_EQ(net.Latency(a, c), config.wan_latency + 7 * kMillisecond);
+  EXPECT_EQ(net.Latency(a, a), 0);  // loopback needs no TLS
+}
+
+}  // namespace
+}  // namespace hogsim

@@ -1,0 +1,410 @@
+// Unit tests for the MapReduce engine: FIFO scheduling with locality,
+// reduce slowstart, speculation, blacklisting, lost-tracker recovery with
+// map re-execution, multi-copy execution, and failure-kind accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/hdfs/datanode.h"
+#include "src/hdfs/dfs_client.h"
+#include "src/hdfs/namenode.h"
+#include "src/hdfs/placement.h"
+#include "src/hdfs/topology.h"
+#include "src/mapreduce/jobtracker.h"
+#include "src/mapreduce/tasktracker.h"
+
+namespace hogsim::mr {
+namespace {
+
+// A compact single-rack Hadoop cluster with per-test knobs.
+class MrHarness {
+ public:
+  explicit MrHarness(int workers, MrConfig mr_config = {},
+                     hdfs::HdfsConfig hdfs_config = {}, int map_slots = 2,
+                     int reduce_slots = 1, Bytes disk = 20 * kGiB)
+      : net_(sim_) {
+    const net::SiteId site = net_.AddSite(Gbps(100));
+    master_ = net_.AddNode(site, Gbps(1));
+    nn_ = std::make_unique<hdfs::Namenode>(
+        sim_, net_, master_, hdfs::FlatTopology(),
+        hdfs::MakeDefaultPlacement(), Rng(11), hdfs_config);
+    nn_->Start();
+    jt_ = std::make_unique<JobTracker>(sim_, net_, *nn_, master_,
+                                       hdfs::FlatTopology(), mr_config);
+    jt_->Start();
+    dfs_ = std::make_unique<hdfs::DfsClient>(*nn_);
+    for (int i = 0; i < workers; ++i) {
+      const net::NodeId node = net_.AddNode(site, Gbps(1));
+      disks_.push_back(std::make_unique<storage::Disk>(sim_, disk, MiBps(80)));
+      const std::string hostname = "w" + std::to_string(i) + ".cluster.local";
+      datanodes_.push_back(std::make_unique<hdfs::Datanode>(
+          sim_, net_, *nn_, hostname, node, *disks_.back()));
+      datanodes_.back()->Start();
+      trackers_.push_back(std::make_unique<TaskTracker>(
+          sim_, net_, *jt_, *dfs_, hostname, node, *disks_.back(), map_slots,
+          reduce_slots));
+      trackers_.back()->Start();
+    }
+  }
+
+  JobId Submit(Bytes input_bytes, int reduces, double map_rate_mibps = 20,
+               double reduce_rate_mibps = 20) {
+    JobSpec spec;
+    spec.name = "job";
+    spec.input = nn_->ImportFile("in" + std::to_string(jt_->job_count()),
+                                 input_bytes);
+    spec.num_reduces = reduces;
+    spec.map_compute_rate = MiBps(map_rate_mibps);
+    spec.reduce_compute_rate = MiBps(reduce_rate_mibps);
+    return jt_->SubmitJob(spec);
+  }
+
+  bool RunToCompletion(SimTime deadline = 8 * kHour) {
+    while (!jt_->AllJobsDone() && sim_.now() < deadline) {
+      sim_.RunUntil(sim_.now() + kSecond);
+    }
+    return jt_->AllJobsDone();
+  }
+
+  sim::Simulation& sim() { return sim_; }
+  hdfs::Namenode& nn() { return *nn_; }
+  JobTracker& jt() { return *jt_; }
+  TaskTracker& tracker(std::size_t i) { return *trackers_[i]; }
+  hdfs::Datanode& datanode(std::size_t i) { return *datanodes_[i]; }
+  storage::Disk& disk(std::size_t i) { return *disks_[i]; }
+  net::FlowNetwork& net() { return net_; }
+
+  void KillWorker(std::size_t i) {
+    datanodes_[i]->Shutdown();
+    trackers_[i]->Shutdown();
+    net_.FailFlowsAtNode(trackers_[i]->net_node());
+    disks_[i]->CancelAll();
+  }
+
+ private:
+  sim::Simulation sim_;
+  net::FlowNetwork net_;
+  net::NodeId master_ = net::kInvalidNode;
+  std::unique_ptr<hdfs::Namenode> nn_;
+  std::unique_ptr<JobTracker> jt_;
+  std::unique_ptr<hdfs::DfsClient> dfs_;
+  std::vector<std::unique_ptr<storage::Disk>> disks_;
+  std::vector<std::unique_ptr<hdfs::Datanode>> datanodes_;
+  std::vector<std::unique_ptr<TaskTracker>> trackers_;
+};
+
+TEST(MapReduce, JobLifecycleBasics) {
+  MrHarness h(4);
+  const JobId job = h.Submit(4 * 64 * kMiB, 2);
+  ASSERT_TRUE(h.RunToCompletion());
+  const JobInfo& info = h.jt().job(job);
+  EXPECT_EQ(info.state, JobState::kSucceeded);
+  EXPECT_EQ(info.maps.size(), 4u);
+  EXPECT_EQ(info.reduces.size(), 2u);
+  EXPECT_GE(info.ResponseTime(), 0);
+  for (const TaskInfo& t : info.maps) {
+    EXPECT_TRUE(t.complete);
+    EXPECT_GE(t.first_launch, info.submitted);
+    EXPECT_GE(t.completed_at, t.first_launch);
+  }
+}
+
+TEST(MapReduce, MapOnlyJobCompletes) {
+  MrHarness h(3);
+  const JobId job = h.Submit(3 * 64 * kMiB, /*reduces=*/0);
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+  // No reduces -> no HDFS output.
+  EXPECT_EQ(h.nn().FileSize(h.jt().job(job).output_file), 0);
+}
+
+TEST(MapReduce, FifoOrderAcrossJobs) {
+  // Two identical jobs: FIFO must finish the first before the second
+  // (with single-slot capacity and no overlap benefit for job 2).
+  MrConfig config;
+  MrHarness h(2, config, {}, /*map_slots=*/1, /*reduce_slots=*/1);
+  const JobId first = h.Submit(8 * 64 * kMiB, 1);
+  const JobId second = h.Submit(8 * 64 * kMiB, 1);
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_LT(h.jt().job(first).finished, h.jt().job(second).finished);
+  // Every map of job 1 launched before any map of job 2 finished waiting:
+  // weaker, robust assertion — job 1's last map launch precedes job 2's
+  // last map launch.
+  SimTime first_last = 0, second_first = kHour * 100;
+  for (const auto& t : h.jt().job(first).maps) {
+    first_last = std::max(first_last, t.first_launch);
+  }
+  for (const auto& t : h.jt().job(second).maps) {
+    second_first = std::min(second_first, t.first_launch);
+  }
+  EXPECT_LE(first_last, second_first + kSecond);
+}
+
+TEST(MapReduce, DataLocalSchedulingDominatesOnReplicatedInput) {
+  hdfs::HdfsConfig hdfs_config;
+  hdfs_config.default_replication = 3;
+  MrHarness h(6, {}, hdfs_config);
+  const JobId job = h.Submit(12 * 64 * kMiB, 2);
+  ASSERT_TRUE(h.RunToCompletion());
+  const JobInfo& info = h.jt().job(job);
+  // All nodes share one rack; with 3 replicas on 6 nodes, most launches
+  // should be node-local and none should be classified remote (rack-local
+  // at worst).
+  EXPECT_GT(info.data_local_maps, 0);
+  EXPECT_EQ(info.remote_maps, 0);
+}
+
+TEST(MapReduce, ReduceSlowstartHoldsReducesBack) {
+  MrConfig config;
+  config.reduce_slowstart = 1.0;  // reduces only after ALL maps
+  MrHarness h(4, config);
+  const JobId job = h.Submit(8 * 64 * kMiB, 4);
+  ASSERT_TRUE(h.RunToCompletion());
+  const JobInfo& info = h.jt().job(job);
+  SimTime last_map_done = 0;
+  for (const auto& t : info.maps) {
+    last_map_done = std::max(last_map_done, t.completed_at);
+  }
+  for (const auto& t : info.reduces) {
+    EXPECT_GE(t.first_launch, last_map_done);
+  }
+}
+
+TEST(MapReduce, TrackerLossReExecutesCompletedMaps) {
+  MrConfig config;
+  config.tracker_expiry = 30 * kSecond;
+  config.reduce_slowstart = 1.0;  // keep reduces from consuming outputs early
+  hdfs::HdfsConfig hdfs_config;
+  hdfs_config.heartbeat_recheck = 30 * kSecond;
+  MrHarness h(4, config, hdfs_config);
+  const JobId job = h.Submit(12 * 64 * kMiB, 2, /*map rate*/ 4);
+  // Let some maps complete, then kill a worker: its completed map outputs
+  // are gone and must re-execute (§III.B).
+  bool killed = false;
+  h.sim().ScheduleAfter(30 * kSecond, [&] {
+    killed = true;
+    h.KillWorker(0);
+  });
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+  EXPECT_EQ(h.jt().trackers_declared_lost(), 1u);
+  EXPECT_GT(h.jt().maps_reexecuted() + h.jt().attempts_launched(), 8u);
+}
+
+TEST(MapReduce, FetchFailureTriggersMapReExecution) {
+  MrConfig config;
+  config.tracker_expiry = 10 * kMinute;  // slow central detection...
+  config.reduce_slowstart = 1.0;
+  hdfs::HdfsConfig hdfs_config;
+  hdfs_config.default_replication = 3;
+  hdfs_config.heartbeat_recheck = 10 * kMinute;
+  MrHarness h(6, config, hdfs_config);
+  const JobId job = h.Submit(6 * 64 * kMiB, 2, 8);
+  // Kill a worker right when its maps are done but before reduces fetched
+  // everything: the reduce's fetch failure must revive the map without
+  // waiting for the 10-minute expiry.
+  int maps_done_on_0 = 0;
+  h.sim().ScheduleAfter(90 * kSecond, [&] {
+    for (const auto& t : h.jt().job(job).maps) {
+      if (t.complete && t.completed_on == 0) ++maps_done_on_0;
+    }
+    if (maps_done_on_0 > 0) h.KillWorker(0);
+  });
+  ASSERT_TRUE(h.RunToCompletion(2 * kHour));
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+  if (maps_done_on_0 > 0) {
+    EXPECT_GE(h.jt().maps_reexecuted(), 1u);
+  }
+}
+
+TEST(MapReduce, SpeculativeExecutionLaunchesSecondCopy) {
+  MrConfig config;
+  config.speculative_execution = true;
+  // A straggler: one worker with a pathologically slow disk.
+  MrHarness h(4, config);
+  // Slow down worker 3's disk by replacing... instead: use small input so
+  // one map lands per node, then make node 3's map crawl via its disk.
+  // Simpler: submit a job whose maps are quick except those reading from a
+  // zombie... Instead we directly verify the mechanism: speculation occurs
+  // when one attempt runs 4/3 slower than the completed mean.
+  const JobId job = h.Submit(8 * 64 * kMiB, 1, /*map rate*/ 30);
+  // Stall worker 0 by flooding its disk with a huge background read, so
+  // any map attempt there crawls.
+  h.sim().ScheduleAfter(2 * kSecond, [&] {
+    for (int i = 0; i < 4; ++i) h.disk(0).Read(40 * kGiB, [] {});
+  });
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+  EXPECT_GE(h.jt().speculative_attempts(), 1u);
+}
+
+TEST(MapReduce, SpeculationDisabledMeansNoExtraCopies) {
+  MrConfig config;
+  config.speculative_execution = false;
+  MrHarness h(4, config);
+  const JobId job = h.Submit(8 * 64 * kMiB, 2);
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+  EXPECT_EQ(h.jt().speculative_attempts(), 0u);
+  EXPECT_EQ(h.jt().attempts_launched(), 10u);  // 8 maps + 2 reduces exactly
+}
+
+TEST(MapReduce, MultiCopyRunsEveryTaskNTimes) {
+  MrConfig config;
+  config.task_copies = 2;  // §VI extension
+  config.speculative_execution = false;
+  MrHarness h(6, config);
+  const JobId job = h.Submit(6 * 64 * kMiB, 2);
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+  // Every task gets up to 2 attempts; at least the map count must exceed
+  // the single-copy baseline (6 + 2 = 8).
+  EXPECT_GT(h.jt().attempts_launched(), 8u);
+}
+
+TEST(MapReduce, ZombieTrackerGetsBlacklistedPerJob) {
+  MrConfig config;
+  config.tracker_blacklist_failures = 4;
+  config.task_copies = 1;
+  MrHarness h(4, config);
+  // Zombify worker 0 before submitting: it keeps heartbeating and taking
+  // tasks, each failing fast (§IV.D.1's observed behaviour).
+  h.tracker(0).EnterZombieMode();
+  h.datanode(0).EnterZombieMode();
+  const JobId job = h.Submit(8 * 64 * kMiB, 2);
+  ASSERT_TRUE(h.RunToCompletion());
+  const JobInfo& info = h.jt().job(job);
+  EXPECT_EQ(info.state, JobState::kSucceeded);
+  EXPECT_TRUE(info.blacklist.contains(0))
+      << "the zombie must be blacklisted after repeated failures";
+  // Failure kinds recorded: the zombie produced kZombieDir failures.
+  EXPECT_GE(info.tracker_failures.at(0), config.tracker_blacklist_failures);
+}
+
+TEST(MapReduce, DiskFullFailsMapsWithDiskFullKind) {
+  // Tiny disks: map outputs do not fit (intermediate data retention).
+  hdfs::HdfsConfig hdfs_config;
+  hdfs_config.default_replication = 1;
+  MrConfig config;
+  config.max_attempts = 2;
+  MrHarness h(2, config, hdfs_config, 2, 1, /*disk=*/300 * kMiB);
+  // Input fits (2 blocks x 1 replica x 64 MiB), but map outputs
+  // (selectivity 1.0) + shuffle spill exhaust the 300 MiB disks quickly
+  // across several jobs' retained intermediates.
+  const JobId j1 = h.Submit(2 * 64 * kMiB, 1);
+  const JobId j2 = h.Submit(2 * 64 * kMiB, 1);
+  ASSERT_TRUE(h.RunToCompletion());
+  // At least one of the jobs must have hit disk pressure; we only require
+  // the engine not to wedge and to surface terminal states.
+  const auto s1 = h.jt().job(j1).state;
+  const auto s2 = h.jt().job(j2).state;
+  EXPECT_NE(s1, JobState::kRunning);
+  EXPECT_NE(s2, JobState::kRunning);
+}
+
+TEST(MapReduce, JobFailsAfterMaxAttempts) {
+  MrConfig config;
+  config.max_attempts = 2;
+  config.zombie_fail_delay = 100 * kMillisecond;
+  MrHarness h(2, config);
+  // Input goes in first (zombie disks cannot receive writes), then all
+  // workers zombify: every attempt fails everywhere and the job fails via
+  // attempt exhaustion.
+  const JobId job = h.Submit(2 * 64 * kMiB, 1);
+  for (int i = 0; i < 2; ++i) {
+    h.tracker(static_cast<std::size_t>(i)).EnterZombieMode();
+  }
+  ASSERT_TRUE(h.RunToCompletion(kHour));
+  EXPECT_EQ(h.jt().job(job).state, JobState::kFailed);
+}
+
+TEST(MapReduce, IntermediateBytesTrackRetention) {
+  MrConfig config;
+  config.reduce_slowstart = 1.0;
+  MrHarness h(2, config);
+  const JobId job = h.Submit(4 * 64 * kMiB, 1, 8);
+  // Mid-flight: after maps complete but before the job finishes, trackers
+  // hold intermediate output.
+  bool saw_intermediate = false;
+  for (int i = 0; i < 7200 && !h.jt().AllJobsDone(); ++i) {
+    h.sim().RunUntil(h.sim().now() + kSecond);
+    Bytes held = 0;
+    for (std::size_t t = 0; t < 2; ++t) {
+      held += h.tracker(t).intermediate_bytes();
+    }
+    if (held > 0) saw_intermediate = true;
+  }
+  ASSERT_TRUE(h.jt().AllJobsDone());
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+  EXPECT_TRUE(saw_intermediate);
+  // After completion, purged everywhere.
+  h.sim().RunUntil(h.sim().now() + kMinute);
+  for (std::size_t t = 0; t < 2; ++t) {
+    EXPECT_EQ(h.tracker(t).intermediate_bytes(), 0);
+  }
+}
+
+TEST(MapReduce, OutputReplicationFollowsJobSpec) {
+  hdfs::HdfsConfig hdfs_config;
+  hdfs_config.default_replication = 2;
+  MrHarness h(5, {}, hdfs_config);
+  JobSpec spec;
+  spec.name = "rep4";
+  spec.input = h.nn().ImportFile("in", 2 * 64 * kMiB);
+  spec.num_reduces = 1;
+  spec.output_replication = 4;
+  const JobId job = h.jt().SubmitJob(spec);
+  ASSERT_TRUE(h.RunToCompletion());
+  const auto& info = h.jt().job(job);
+  ASSERT_EQ(info.state, JobState::kSucceeded);
+  for (const auto& loc : h.nn().GetFileBlocks(info.output_file)) {
+    EXPECT_EQ(loc.datanodes.size(), 4u);
+  }
+}
+
+TEST(MapReduce, ReportsByteConservationThroughShuffle) {
+  MrHarness h(4);
+  const JobId job = h.Submit(6 * 64 * kMiB, 3);
+  ASSERT_TRUE(h.RunToCompletion());
+  const JobInfo& info = h.jt().job(job);
+  ASSERT_EQ(info.state, JobState::kSucceeded);
+  Bytes map_output = 0;
+  for (const auto& t : info.maps) map_output += t.output_bytes;
+  EXPECT_EQ(map_output, 6 * 64 * kMiB);  // selectivity 1.0
+  // Reduce output = 0.4 x shuffled (±rounding per reduce partition).
+  const Bytes out = h.nn().FileSize(info.output_file);
+  EXPECT_NEAR(static_cast<double>(out), 0.4 * 6 * 64 * kMiB,
+              static_cast<double>(kMiB));
+}
+
+// Parameterized churn sweep: random worker kills during a job; the job
+// must always finish (enough replicas + re-execution machinery).
+class ChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnSweep, JobSurvivesRandomKills) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  MrConfig config;
+  config.tracker_expiry = 30 * kSecond;
+  hdfs::HdfsConfig hdfs_config;
+  hdfs_config.default_replication = 4;
+  hdfs_config.heartbeat_recheck = 30 * kSecond;
+  MrHarness h(8, config, hdfs_config);
+  const JobId job = h.Submit(10 * 64 * kMiB, 4, 8, 8);
+  // Kill 2 random distinct workers at random times in the first 3 minutes.
+  std::set<std::size_t> victims;
+  while (victims.size() < 2) {
+    victims.insert(static_cast<std::size_t>(rng.UniformInt(0, 7)));
+  }
+  for (std::size_t v : victims) {
+    h.sim().ScheduleAfter(FromSeconds(rng.Uniform(20, 180)),
+                          [&h, v] { h.KillWorker(v); });
+  }
+  ASSERT_TRUE(h.RunToCompletion(4 * kHour));
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace hogsim::mr

@@ -1,0 +1,133 @@
+// Property sweeps over the block-placement policies: invariants that must
+// hold for every (replication, topology, seed) combination.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/hdfs/datanode.h"
+#include "src/hdfs/namenode.h"
+#include "src/hdfs/placement.h"
+#include "src/hdfs/topology.h"
+
+namespace hogsim::hdfs {
+namespace {
+
+struct PlacementCase {
+  int sites;
+  int per_site;
+  int replication;
+  bool site_aware;
+  int seed;
+};
+
+class PlacementProperty : public ::testing::TestWithParam<PlacementCase> {};
+
+TEST_P(PlacementProperty, Invariants) {
+  const PlacementCase c = GetParam();
+  sim::Simulation sim;
+  net::FlowNetwork net(sim);
+  const net::NodeId master = net.AddNode(net.AddSite(Gbps(10)), Gbps(1));
+  HdfsConfig config;
+  config.default_replication = c.replication;
+  Namenode nn(sim, net, master, SiteAwarenessScript(),
+              c.site_aware ? MakeSiteAwarePlacement() : MakeDefaultPlacement(),
+              Rng(static_cast<std::uint64_t>(c.seed)), config);
+  nn.Start();
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  std::vector<std::unique_ptr<Datanode>> daemons;
+  for (int s = 0; s < c.sites; ++s) {
+    const net::SiteId site = net.AddSite(Gbps(2));
+    for (int n = 0; n < c.per_site; ++n) {
+      disks.push_back(
+          std::make_unique<storage::Disk>(sim, 10 * kGiB, MiBps(60)));
+      daemons.push_back(std::make_unique<Datanode>(
+          sim, net, nn,
+          "n" + std::to_string(n) + ".s" + std::to_string(s) + ".edu",
+          net.AddNode(site, Gbps(1)), *disks.back()));
+      daemons.back()->Start();
+    }
+  }
+
+  const int total_nodes = c.sites * c.per_site;
+  for (int i = 0; i < 12; ++i) {
+    const FileId file = nn.ImportFile("f" + std::to_string(i), 64 * kMiB);
+    const BlockLocation loc = nn.GetFileBlocks(file)[0];
+
+    // Invariant 1: replica count = min(replication, cluster size).
+    EXPECT_EQ(static_cast<int>(loc.datanodes.size()),
+              std::min(c.replication, total_nodes));
+
+    // Invariant 2: replicas live on distinct nodes.
+    const std::set<DatanodeId> unique(loc.datanodes.begin(),
+                                      loc.datanodes.end());
+    EXPECT_EQ(unique.size(), loc.datanodes.size());
+
+    // Invariant 3: site-aware placement covers min(sites, replicas)
+    // distinct failure domains — the multi-institution guarantee.
+    std::set<std::string> racks(loc.racks.begin(), loc.racks.end());
+    if (c.site_aware) {
+      EXPECT_EQ(static_cast<int>(racks.size()),
+                std::min(c.sites, static_cast<int>(loc.datanodes.size())));
+    } else if (c.replication >= 2 && c.sites >= 2) {
+      // Default policy: at least two racks once there are two replicas.
+      EXPECT_GE(racks.size(), 2u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacementProperty,
+    ::testing::Values(PlacementCase{5, 4, 10, true, 1},
+                      PlacementCase{5, 4, 10, true, 2},
+                      PlacementCase{5, 4, 3, true, 3},
+                      PlacementCase{3, 2, 10, true, 4},   // rep > per-site
+                      PlacementCase{2, 1, 5, true, 5},    // rep > nodes
+                      PlacementCase{5, 4, 3, false, 6},
+                      PlacementCase{5, 4, 10, false, 7},
+                      PlacementCase{4, 6, 2, true, 8},
+                      PlacementCase{1, 8, 3, true, 9},    // single site
+                      PlacementCase{6, 3, 6, true, 10}));
+
+// Writer-locality property: when the writing client is a datanode with
+// room, the first replica lands on it (both policies).
+class WriterLocality : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WriterLocality, FirstReplicaIsWriterLocal) {
+  const bool site_aware = GetParam();
+  sim::Simulation sim;
+  net::FlowNetwork net(sim);
+  const net::NodeId master = net.AddNode(net.AddSite(Gbps(10)), Gbps(1));
+  HdfsConfig config;
+  config.default_replication = 3;
+  Namenode nn(sim, net, master, SiteAwarenessScript(),
+              site_aware ? MakeSiteAwarePlacement() : MakeDefaultPlacement(),
+              Rng(11), config);
+  nn.Start();
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  std::vector<std::unique_ptr<Datanode>> daemons;
+  for (int s = 0; s < 3; ++s) {
+    const net::SiteId site = net.AddSite(Gbps(2));
+    for (int n = 0; n < 3; ++n) {
+      disks.push_back(
+          std::make_unique<storage::Disk>(sim, 10 * kGiB, MiBps(60)));
+      daemons.push_back(std::make_unique<Datanode>(
+          sim, net, nn,
+          "n" + std::to_string(n) + ".s" + std::to_string(s) + ".edu",
+          net.AddNode(site, Gbps(1)), *disks.back()));
+      daemons.back()->Start();
+    }
+  }
+  const FileId file = nn.CreateFile("f", 3);
+  for (DatanodeId writer = 0; writer < 9; ++writer) {
+    const BlockId block = nn.AllocateBlock(file, 64 * kMiB);
+    const auto targets = nn.ChooseTargets(3, writer, {}, 64 * kMiB);
+    ASSERT_EQ(targets.size(), 3u);
+    EXPECT_EQ(targets.front(), writer);
+    nn.AbandonBlock(block);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, WriterLocality, ::testing::Bool());
+
+}  // namespace
+}  // namespace hogsim::hdfs

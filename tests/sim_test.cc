@@ -1,0 +1,198 @@
+// Unit tests for the discrete-event core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace hogsim::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulation, FifoAmongEqualTimestamps) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterUsesNow) {
+  Simulation sim;
+  SimTime fired = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { fired = sim.now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+  Simulation sim;
+  SimTime fired = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAt(10, [&] { fired = sim.now(); });  // in the past
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Simulation, NegativeDelayClamps) {
+  Simulation sim;
+  bool fired = false;
+  sim.ScheduleAfter(-5, [&] { fired = true; });
+  sim.RunAll();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  auto handle = sim.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  sim.Cancel(handle);
+  EXPECT_FALSE(handle.pending());
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, CancelIsIdempotentAndSafeOnEmptyHandle) {
+  Simulation sim;
+  EventHandle empty;
+  sim.Cancel(empty);  // no crash
+  auto handle = sim.ScheduleAt(10, [] {});
+  sim.Cancel(handle);
+  sim.Cancel(handle);
+  sim.RunAll();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, CancelAfterFireIsNoOp) {
+  Simulation sim;
+  auto handle = sim.ScheduleAt(1, [] {});
+  sim.RunAll();
+  EXPECT_FALSE(handle.pending());
+  sim.Cancel(handle);  // no crash, no double-count
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, RunUntilStopsAndAdvancesClock) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  sim.ScheduleAt(10, [&] { fired.push_back(10); });
+  sim.ScheduleAt(100, [&] { fired.push_back(100); });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10}));
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunUntil(200);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(Simulation, EventAtBoundaryRuns) {
+  Simulation sim;
+  bool fired = false;
+  sim.ScheduleAt(50, [&] { fired = true; });
+  sim.RunUntil(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, HardLimitStopsRunaway) {
+  Simulation sim;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { sim.ScheduleAfter(kSecond, loop); };
+  sim.ScheduleAfter(kSecond, loop);
+  sim.RunAll(/*hard_limit=*/10 * kSecond);
+  EXPECT_TRUE(sim.LimitReached());
+  EXPECT_LE(sim.now(), 10 * kSecond);
+}
+
+TEST(Simulation, EventsScheduledDuringExecutionRun) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void(int)> recurse = [&](int n) {
+    depth = n;
+    if (n < 5) sim.ScheduleAfter(1, [&, n] { recurse(n + 1); });
+  };
+  sim.ScheduleAt(0, [&] { recurse(1); });
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(PeriodicTimer, TicksAtPeriod) {
+  Simulation sim;
+  PeriodicTimer timer;
+  std::vector<SimTime> ticks;
+  timer.Start(sim, 10, [&] { ticks.push_back(sim.now()); });
+  sim.RunUntil(35);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{10, 20, 30}));
+  timer.Stop();
+}
+
+TEST(PeriodicTimer, StopsCleanly) {
+  Simulation sim;
+  PeriodicTimer timer;
+  int count = 0;
+  timer.Start(sim, 10, [&] {
+    if (++count == 3) timer.Stop();
+  });
+  sim.RunUntil(1000);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(timer.running());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(PeriodicTimer, RestartChangesPeriod) {
+  Simulation sim;
+  PeriodicTimer timer;
+  std::vector<SimTime> ticks;
+  timer.Start(sim, 10, [&] { ticks.push_back(sim.now()); });
+  sim.RunUntil(25);
+  timer.Start(sim, 100, [&] { ticks.push_back(sim.now()); });
+  sim.RunUntil(300);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{10, 20, 125, 225}));
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulation sim;
+  int count = 0;
+  {
+    PeriodicTimer timer;
+    timer.Start(sim, 10, [&] { ++count; });
+  }
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicTimer, StopBeforeStartIsSafe) {
+  PeriodicTimer timer;
+  timer.Stop();  // no crash
+  EXPECT_FALSE(timer.running());
+}
+
+}  // namespace
+}  // namespace hogsim::sim
