@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dedicated_cluster.cc" "src/CMakeFiles/hogsim.dir/baseline/dedicated_cluster.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/baseline/dedicated_cluster.cc.o.d"
+  "/root/repo/src/grid/condor.cc" "src/CMakeFiles/hogsim.dir/grid/condor.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/grid/condor.cc.o.d"
+  "/root/repo/src/grid/grid.cc" "src/CMakeFiles/hogsim.dir/grid/grid.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/grid/grid.cc.o.d"
+  "/root/repo/src/hdfs/balancer.cc" "src/CMakeFiles/hogsim.dir/hdfs/balancer.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/hdfs/balancer.cc.o.d"
+  "/root/repo/src/hdfs/datanode.cc" "src/CMakeFiles/hogsim.dir/hdfs/datanode.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/hdfs/datanode.cc.o.d"
+  "/root/repo/src/hdfs/dfs_client.cc" "src/CMakeFiles/hogsim.dir/hdfs/dfs_client.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/hdfs/dfs_client.cc.o.d"
+  "/root/repo/src/hdfs/namenode.cc" "src/CMakeFiles/hogsim.dir/hdfs/namenode.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/hdfs/namenode.cc.o.d"
+  "/root/repo/src/hdfs/placement.cc" "src/CMakeFiles/hogsim.dir/hdfs/placement.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/hdfs/placement.cc.o.d"
+  "/root/repo/src/hog/hog_cluster.cc" "src/CMakeFiles/hogsim.dir/hog/hog_cluster.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/hog/hog_cluster.cc.o.d"
+  "/root/repo/src/mapreduce/history.cc" "src/CMakeFiles/hogsim.dir/mapreduce/history.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/mapreduce/history.cc.o.d"
+  "/root/repo/src/mapreduce/jobtracker.cc" "src/CMakeFiles/hogsim.dir/mapreduce/jobtracker.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/mapreduce/jobtracker.cc.o.d"
+  "/root/repo/src/mapreduce/tasktracker.cc" "src/CMakeFiles/hogsim.dir/mapreduce/tasktracker.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/mapreduce/tasktracker.cc.o.d"
+  "/root/repo/src/net/flow_network.cc" "src/CMakeFiles/hogsim.dir/net/flow_network.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/net/flow_network.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/hogsim.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/CMakeFiles/hogsim.dir/storage/disk.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/storage/disk.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/CMakeFiles/hogsim.dir/util/log.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/util/log.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/hogsim.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/hogsim.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/hogsim.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/hogsim.dir/util/table.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/util/table.cc.o.d"
+  "/root/repo/src/util/units.cc" "src/CMakeFiles/hogsim.dir/util/units.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/util/units.cc.o.d"
+  "/root/repo/src/workload/facebook.cc" "src/CMakeFiles/hogsim.dir/workload/facebook.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/workload/facebook.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/CMakeFiles/hogsim.dir/workload/runner.cc.o" "gcc" "src/CMakeFiles/hogsim.dir/workload/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

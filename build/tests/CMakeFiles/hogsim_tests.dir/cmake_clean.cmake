@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hogsim_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/grid_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/grid_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/hdfs_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/hdfs_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/hog_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/hog_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/integration_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/mapreduce_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/mapreduce_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/namenode_failover_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/namenode_failover_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/net_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/net_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/placement_property_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/placement_property_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/sim_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/sim_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/storage_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/storage_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/util_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/util_test.cc.o.d"
+  "CMakeFiles/hogsim_tests.dir/workload_test.cc.o"
+  "CMakeFiles/hogsim_tests.dir/workload_test.cc.o.d"
+  "hogsim_tests"
+  "hogsim_tests.pdb"
+  "hogsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hogsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
