@@ -6,8 +6,10 @@
 // paper notes.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/exp/sweep.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
@@ -53,13 +55,25 @@ int main() {
   std::printf("Fig. 5: HOG node fluctuation (three 55-node executions)\n");
   // Runs a and b: default (stable-ish) grid with different seeds; run c:
   // an unstable grid. The paper's three runs differed by the grid's mood
-  // during execution; seeds play that role here.
-  const auto a = bench::RunHogWorkload(55, bench::kSeeds[0], StableGrid());
-  const auto b = bench::RunHogWorkload(55, bench::kSeeds[1], StableGrid());
-  const auto c = bench::RunHogWorkload(55, bench::kSeeds[2], UnstableGrid());
-  PrintRun('a', a);
-  PrintRun('b', b);
-  PrintRun('c', c);
+  // during execution; seeds play that role here. The three runs execute in
+  // parallel on the sweep harness with per-seed results identical to
+  // running them back to back.
+  exp::SweepSpec spec;
+  spec.name = "fig5";
+  spec.seeds = {bench::kSeeds[0], bench::kSeeds[1], bench::kSeeds[2]};
+  spec.configs = 1;
+  std::vector<bench::HogRunResult> runs(spec.seeds.size());
+  exp::RunSweep(spec, [&](std::size_t, std::uint64_t seed) -> exp::Metrics {
+    std::size_t idx = 0;
+    while (spec.seeds[idx] != seed) ++idx;
+    runs[idx] = bench::RunHogWorkload(
+        55, seed, idx == 2 ? UnstableGrid() : StableGrid());
+    return {{"response_s", runs[idx].workload.response_time_s},
+            {"area_node_s", runs[idx].area_beneath_curve}};
+  });
+  PrintRun('a', runs[0]);
+  PrintRun('b', runs[1]);
+  PrintRun('c', runs[2]);
 
   std::printf("\nExpected shape (paper): the unstable run (c) shows larger "
               "node swings, the longest response time and the largest "

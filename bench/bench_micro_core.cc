@@ -2,8 +2,19 @@
 // queue throughput, flow-network sharing policies, disk fair queue, and
 // namenode placement. These bound how large a HOG experiment the simulator
 // can run per wall-clock second.
+//
+// After the google-benchmark suite, an exp::Sweep of the core event-queue
+// scenarios (schedule+fire, cancel-heavy, heartbeat cancel/re-arm) runs
+// across seeds and writes BENCH_core.json — the machine-readable perf
+// baseline future PRs regress against.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/exp/sweep.h"
 #include "src/hdfs/datanode.h"
 #include "src/hdfs/namenode.h"
 #include "src/hdfs/placement.h"
@@ -48,6 +59,25 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueCancelHeavy)->Arg(65536);
+
+void BM_EventQueueCancelReArm(benchmark::State& state) {
+  // Heartbeat-timeout pattern: cancel the pending expiry and re-arm it far
+  // in the future, every 30 s of simulated time. Exercises slot reuse and
+  // heap compaction; the old queue grew linearly with simulated time here.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::EventHandle timeout;
+    for (int i = 0; i < n; ++i) {
+      sim.Cancel(timeout);
+      timeout = sim.ScheduleAfter(10 * kMinute, [] {});
+      sim.RunUntil(sim.now() + 30 * kSecond);
+    }
+    benchmark::DoNotOptimize(sim.queued());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelReArm)->Arg(65536);
 
 void RunFlowChurn(net::SharingPolicy policy, int sites, int nodes_per_site,
                   int flows) {
@@ -163,7 +193,87 @@ void BM_NamenodeBlockLocations(benchmark::State& state) {
 }
 BENCHMARK(BM_NamenodeBlockLocations);
 
+// --- exp::Sweep perf baseline: BENCH_core.json ---
+
+exp::Metrics CoreSweepRun(std::size_t config, std::uint64_t seed) {
+  constexpr int kEvents = 200'000;
+  sim::Simulation sim;
+  Rng rng(seed);
+  std::size_t peak_queued = 0;
+  const auto start = std::chrono::steady_clock::now();
+  switch (config) {
+    case 0:  // schedule + fire
+      for (int i = 0; i < kEvents; ++i) {
+        sim.ScheduleAt(rng.UniformInt(0, 1'000'000), [] {});
+      }
+      sim.RunAll();
+      break;
+    case 1: {  // schedule, cancel half, fire the rest
+      std::vector<sim::EventHandle> handles;
+      handles.reserve(kEvents);
+      for (int i = 0; i < kEvents; ++i) {
+        handles.push_back(sim.ScheduleAt(rng.UniformInt(0, 1'000'000), [] {}));
+      }
+      for (int i = 0; i < kEvents; i += 2) {
+        sim.Cancel(handles[static_cast<std::size_t>(i)]);
+      }
+      sim.RunAll();
+      break;
+    }
+    default: {  // heartbeat cancel/re-arm loop
+      sim::EventHandle timeout;
+      for (int i = 0; i < kEvents / 4; ++i) {
+        sim.Cancel(timeout);
+        timeout = sim.ScheduleAfter(10 * kMinute, [] {});
+        sim.RunUntil(sim.now() + 30 * kSecond);
+        peak_queued = std::max(peak_queued, sim.queued());
+      }
+      break;
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double ops =
+      static_cast<double>(sim.executed() + sim.cancelled()) +
+      static_cast<double>(config == 2 ? kEvents / 4 : kEvents);
+  return {{"wall_s", wall_s},
+          {"ops_per_sec", wall_s > 0 ? ops / wall_s : 0.0},
+          {"executed", static_cast<double>(sim.executed())},
+          {"cancelled", static_cast<double>(sim.cancelled())},
+          {"compactions", static_cast<double>(sim.compactions())},
+          {"peak_queued", static_cast<double>(peak_queued)}};
+}
+
+void WriteCoreBaseline() {
+  exp::SweepSpec spec;
+  spec.name = "core";
+  spec.seeds = {1, 2, 3, 4, 5};
+  spec.configs = 3;
+  spec.config_labels = {"schedule_fire", "cancel_heavy", "cancel_rearm"};
+  const exp::SweepResult result = exp::RunSweep(spec, CoreSweepRun);
+  if (exp::WriteBenchJson("BENCH_core.json", spec, result)) {
+    std::printf("\nBENCH_core.json: %zu runs (%zu configs x %zu seeds)\n",
+                result.runs.size(), spec.configs, spec.seeds.size());
+    for (std::size_t c = 0; c < result.summaries.size(); ++c) {
+      for (const exp::MetricSummary& m : result.summaries[c]) {
+        if (m.name != "ops_per_sec") continue;
+        std::printf("  %-13s ops/sec mean %.3g (min %.3g, max %.3g)\n",
+                    spec.config_labels[c].c_str(), m.stats.mean(),
+                    m.stats.min(), m.stats.max());
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hogsim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  hogsim::WriteCoreBaseline();
+  return 0;
+}

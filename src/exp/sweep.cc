@@ -1,0 +1,194 @@
+#include "src/exp/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "src/util/log.h"
+
+namespace hogsim::exp {
+
+namespace {
+
+std::vector<std::vector<MetricSummary>> Aggregate(const SweepSpec& spec,
+                                                  const std::vector<RunRecord>& runs) {
+  std::vector<std::vector<MetricSummary>> summaries(spec.configs);
+  const std::size_t n = spec.seeds.size();
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    if (n == 0) continue;
+    const Metrics& first = runs[c * n].metrics;
+    for (std::size_t m = 0; m < first.size(); ++m) {
+      MetricSummary summary;
+      summary.name = first[m].first;
+      std::vector<double> values;
+      values.reserve(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        const Metrics& metrics = runs[c * n + s].metrics;
+        // Run functions must emit a fixed metric layout per config.
+        if (m >= metrics.size() || metrics[m].first != summary.name) continue;
+        values.push_back(metrics[m].second);
+        summary.stats.Add(metrics[m].second);
+      }
+      std::sort(values.begin(), values.end());
+      summary.p50 = PercentileSorted(values, 0.50);
+      summary.p95 = PercentileSorted(values, 0.95);
+      summary.p99 = PercentileSorted(values, 0.99);
+      if (summary.stats.count() > 1) {
+        summary.ci95_halfwidth =
+            1.96 * summary.stats.stddev() /
+            std::sqrt(static_cast<double>(summary.stats.count()));
+      }
+      summaries[c].push_back(std::move(summary));
+    }
+  }
+  return summaries;
+}
+
+// JSON-safe number rendering: full double precision, finite-only.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string ConfigLabel(const SweepSpec& spec, std::size_t c) {
+  if (c < spec.config_labels.size()) return spec.config_labels[c];
+  return "config" + std::to_string(c);
+}
+
+}  // namespace
+
+SweepResult RunSweep(const SweepSpec& spec, const RunFn& fn) {
+  SweepResult result;
+  const std::size_t tasks = spec.configs * spec.seeds.size();
+  result.runs.resize(tasks);
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+      RunRecord& record = result.runs[c * spec.seeds.size() + s];
+      record.config_index = c;
+      record.seed = spec.seeds[s];
+    }
+  }
+
+  unsigned threads = spec.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(tasks, 1)));
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks) return;
+      RunRecord& record = result.runs[i];
+      try {
+        record.metrics = fn(record.config_index, record.seed);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  result.summaries = Aggregate(spec, result.runs);
+  return result;
+}
+
+std::string ToBenchJson(const SweepSpec& spec, const SweepResult& result) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"name\": \"" << JsonEscape(spec.name) << "\",\n";
+  os << "  \"configs\": " << spec.configs << ",\n";
+  os << "  \"seeds\": [";
+  for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+    if (s) os << ", ";
+    os << spec.seeds[s];
+  }
+  os << "],\n";
+  os << "  \"summaries\": [\n";
+  bool first_summary = true;
+  for (std::size_t c = 0; c < result.summaries.size(); ++c) {
+    for (const MetricSummary& m : result.summaries[c]) {
+      if (!first_summary) os << ",\n";
+      first_summary = false;
+      os << "    {\"config\": \"" << JsonEscape(ConfigLabel(spec, c))
+         << "\", \"metric\": \"" << JsonEscape(m.name)
+         << "\", \"count\": " << m.stats.count()
+         << ", \"mean\": " << JsonNumber(m.stats.mean())
+         << ", \"stddev\": " << JsonNumber(m.stats.stddev())
+         << ", \"min\": " << JsonNumber(m.stats.min())
+         << ", \"max\": " << JsonNumber(m.stats.max())
+         << ", \"p50\": " << JsonNumber(m.p50)
+         << ", \"p95\": " << JsonNumber(m.p95)
+         << ", \"p99\": " << JsonNumber(m.p99)
+         << ", \"ci95\": " << JsonNumber(m.ci95_halfwidth) << "}";
+    }
+  }
+  os << "\n  ],\n";
+  os << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const RunRecord& r = result.runs[i];
+    if (i) os << ",\n";
+    os << "    {\"config\": \"" << JsonEscape(ConfigLabel(spec, r.config_index))
+       << "\", \"seed\": " << r.seed << ", \"metrics\": {";
+    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+      if (m) os << ", ";
+      os << "\"" << JsonEscape(r.metrics[m].first)
+         << "\": " << JsonNumber(r.metrics[m].second);
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool WriteBenchJson(const std::string& path, const SweepSpec& spec,
+                    const SweepResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    HOG_LOG(kWarn, 0, "exp") << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << ToBenchJson(spec, result);
+  return static_cast<bool>(out);
+}
+
+}  // namespace hogsim::exp

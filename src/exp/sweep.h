@@ -1,0 +1,90 @@
+// Parallel multi-seed experiment harness.
+//
+// Every paper result is a statistic over independent simulation runs
+// (N seeds x M configs). The engine itself is single-threaded and
+// deterministic, so the natural parallelism is *between* runs: exp::Sweep
+// executes each (config, seed) pair on a thread pool, one private
+// Simulation per run, and returns results in a fixed config-major,
+// seed-minor order — so a parallel sweep is byte-identical to running the
+// same seeds sequentially.
+//
+// On top of the raw per-run metrics it aggregates per-config summaries
+// (mean/stddev/min/max, p50/p95/p99, normal-approximation 95% CI on the
+// mean) and can serialize everything to the BENCH_*.json convention, which
+// gives the repo a machine-readable perf/accuracy trajectory to regress
+// against (see ROADMAP.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace hogsim::exp {
+
+/// One run's result: ordered (metric name, value) pairs. A run function
+/// must emit the same names in the same order for every seed of a config.
+using Metrics = std::vector<std::pair<std::string, double>>;
+
+/// Builds and runs one full simulation for (config_index, seed), returning
+/// its metrics. Called concurrently from pool threads: it must not share
+/// mutable state between calls (each call owns its Simulation).
+using RunFn = std::function<Metrics(std::size_t config_index,
+                                    std::uint64_t seed)>;
+
+struct SweepSpec {
+  std::string name = "sweep";          ///< Experiment name (JSON "name").
+  std::vector<std::uint64_t> seeds;    ///< N seeds, run per config.
+  std::size_t configs = 1;             ///< M config variants, 0..M-1.
+  /// Optional per-config labels for human-readable output; empty means
+  /// "config0", "config1", ...
+  std::vector<std::string> config_labels;
+  /// Pool width; 0 = std::thread::hardware_concurrency(). 1 runs inline
+  /// with no threads at all (useful as the determinism reference).
+  unsigned threads = 0;
+};
+
+struct RunRecord {
+  std::size_t config_index = 0;
+  std::uint64_t seed = 0;
+  Metrics metrics;
+};
+
+/// Per-config, per-metric summary across seeds.
+struct MetricSummary {
+  std::string name;
+  RunningStats stats;
+  double p50 = 0, p95 = 0, p99 = 0;
+  double ci95_halfwidth = 0;  ///< 1.96 * stddev / sqrt(n); 0 when n < 2.
+};
+
+struct SweepResult {
+  /// One record per (config, seed), config-major then seed-minor — the
+  /// same order regardless of thread interleaving.
+  std::vector<RunRecord> runs;
+  /// summaries[config] lists metrics in the order the run function emitted
+  /// them.
+  std::vector<std::vector<MetricSummary>> summaries;
+
+  const RunRecord& run(std::size_t config, std::size_t seed_index,
+                       std::size_t num_seeds) const {
+    return runs[config * num_seeds + seed_index];
+  }
+};
+
+/// Runs the sweep. Exceptions thrown by `fn` are re-thrown on the calling
+/// thread after the pool drains.
+SweepResult RunSweep(const SweepSpec& spec, const RunFn& fn);
+
+/// Serializes spec + result to the BENCH_*.json format.
+std::string ToBenchJson(const SweepSpec& spec, const SweepResult& result);
+
+/// Writes ToBenchJson to `path`; returns false (with a log warning) on I/O
+/// failure.
+bool WriteBenchJson(const std::string& path, const SweepSpec& spec,
+                    const SweepResult& result);
+
+}  // namespace hogsim::exp

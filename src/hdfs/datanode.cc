@@ -15,7 +15,12 @@ Datanode::Datanode(sim::Simulation& sim, net::FlowNetwork& net,
       node_(node),
       disk_(disk) {}
 
-Datanode::~Datanode() { Shutdown(); }
+Datanode::~Datanode() {
+  // Never notify observers from teardown: the exit callback may reference
+  // sibling objects that are already destroyed.
+  on_exit_ = nullptr;
+  Shutdown();
+}
 
 void Datanode::Start() {
   process_alive_ = true;

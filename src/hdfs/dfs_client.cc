@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "src/hdfs/datanode.h"
 #include "src/util/log.h"
@@ -153,10 +154,16 @@ DfsOp DfsClient::UploadFile(net::NodeId writer, std::string name, Bytes size,
 
   // Stream blocks one at a time; the recursive continuation owns the op
   // state so a Cancel() aborts the in-flight pipeline and stops the chain.
+  // The closure must reference itself weakly: a strong self-capture is a
+  // shared_ptr cycle that keeps the continuation (and the op state) alive
+  // forever. Strong references live only in the in-flight completion
+  // callbacks, so the chain frees itself once it finishes or is cancelled.
   auto next = std::make_shared<std::function<void(Bytes)>>();
   *next = [this, state = op.state_, writer, file, block_size, done,
-           next](Bytes remaining) {
-    if (state->cancelled) return;
+           weak_next = std::weak_ptr<std::function<void(Bytes)>>(next)](
+              Bytes remaining) {
+    auto next = weak_next.lock();
+    if (!next || state->cancelled) return;
     if (remaining <= 0) {
       state->finished = true;
       state->abort = nullptr;

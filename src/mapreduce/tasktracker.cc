@@ -44,7 +44,12 @@ TaskTracker::TaskTracker(sim::Simulation& sim, net::FlowNetwork& net,
       map_slots_(map_slots),
       reduce_slots_(reduce_slots) {}
 
-TaskTracker::~TaskTracker() { Shutdown(); }
+TaskTracker::~TaskTracker() {
+  // Never notify observers from teardown: the exit callback may reference
+  // sibling objects that are already destroyed.
+  on_exit_ = nullptr;
+  Shutdown();
+}
 
 void TaskTracker::Start() {
   process_alive_ = true;

@@ -8,11 +8,20 @@ namespace hogsim::sim {
 EventHandle Simulation::ScheduleAt(SimTime t, Callback cb) {
   assert(cb);
   if (t < now_) t = now_;
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push_back(Entry{t, next_seq_++, std::move(cb), state});
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].cb = std::move(cb);
+  const std::uint32_t gen = slots_[slot].gen;
+  heap_.push_back(Entry{t, next_seq_++, slot, gen});
   std::push_heap(heap_.begin(), heap_.end(), Later);
   ++live_;
-  return EventHandle(std::move(state));
+  return EventHandle(this, slot, gen);
 }
 
 EventHandle Simulation::ScheduleAfter(SimDuration delay, Callback cb) {
@@ -20,28 +29,58 @@ EventHandle Simulation::ScheduleAfter(SimDuration delay, Callback cb) {
   return ScheduleAt(now_ + delay, std::move(cb));
 }
 
+void Simulation::ReleaseSlot(std::uint32_t slot) {
+  ++slots_[slot].gen;   // invalidates the heap entry and all handles
+  slots_[slot].cb = nullptr;
+  free_.push_back(slot);
+}
+
 void Simulation::Cancel(EventHandle& handle) {
-  if (handle.state_ && !handle.state_->done) {
-    handle.state_->done = true;
+  if (handle.sim_ == this && IsPending(handle.slot_, handle.gen_)) {
+    ReleaseSlot(handle.slot_);
     assert(live_ > 0);
     --live_;
+    ++cancelled_;
+    // heap_.size() - live_ is the stale-entry count: every live event has
+    // exactly one heap entry.
+    if (heap_.size() >= kCompactMinEntries &&
+        heap_.size() - live_ > heap_.size() / 2) {
+      Compact();
+    }
   }
-  handle.state_.reset();
+  handle.sim_ = nullptr;
+}
+
+void Simulation::Compact() {
+  std::erase_if(heap_, [this](const Entry& e) {
+    return slots_[e.slot].gen != e.gen;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later);
+  ++compactions_;
 }
 
 bool Simulation::Step(SimTime until) {
   while (!heap_.empty()) {
-    if (heap_.front().time > until) return false;
+    const Entry& top = heap_.front();
+    if (slots_[top.slot].gen != top.gen) {
+      // Stale entry of a cancelled event: drop it regardless of timestamp.
+      std::pop_heap(heap_.begin(), heap_.end(), Later);
+      heap_.pop_back();
+      continue;
+    }
+    if (top.time > until) return false;
     std::pop_heap(heap_.begin(), heap_.end(), Later);
-    Entry entry = std::move(heap_.back());
+    const Entry entry = heap_.back();
     heap_.pop_back();
-    if (entry.state->done) continue;  // cancelled; already uncounted
-    entry.state->done = true;
+    // Move the callback out and free the slot before executing, so the
+    // callback can freely schedule/cancel (including reusing this slot).
+    Callback cb = std::move(slots_[entry.slot].cb);
+    ReleaseSlot(entry.slot);
     --live_;
     assert(entry.time >= now_);
     now_ = entry.time;
     ++executed_;
-    entry.cb();
+    cb();
     return true;
   }
   return false;
@@ -73,6 +112,9 @@ void PeriodicTimer::Start(Simulation& sim, SimDuration period,
 
 void PeriodicTimer::Stop() {
   if (sim_ != nullptr) sim_->Cancel(pending_);
+  sim_ = nullptr;
+  period_ = 0;
+  on_tick_ = nullptr;
   running_ = false;
 }
 
@@ -81,7 +123,11 @@ void PeriodicTimer::Arm() {
     if (!running_) return;
     // Re-arm before ticking so a callback that calls Stop() wins.
     Arm();
-    on_tick_();
+    // Execute from a local so Stop()/Start() inside the tick can't destroy
+    // the std::function currently running.
+    auto tick = std::move(on_tick_);
+    tick();
+    if (running_ && !on_tick_) on_tick_ = std::move(tick);
   });
 }
 

@@ -4,34 +4,47 @@
 // subsystems (network flows, disks, daemons, schedulers) are driven purely
 // by callbacks scheduled here, which makes every run single-threaded and
 // deterministic: two events at the same timestamp fire in scheduling order.
+//
+// Queue representation: callbacks live in a pooled slot arena; the heap
+// itself holds only trivially-copyable {time, seq, slot, generation}
+// entries, so scheduling an event performs no allocation once the pool is
+// warm and heap sifts move 24-byte PODs instead of std::functions.
+// Cancellation is lazy (the heap entry goes stale and is skipped on pop),
+// but a cancelled event's callback is destroyed immediately and the heap is
+// compacted whenever stale entries outnumber live ones, so cancel/re-arm
+// loops — heartbeat timers re-armed every 30 s for a whole run — hold the
+// queue at O(live events) instead of growing with simulated time.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "src/util/units.h"
 
 namespace hogsim::sim {
 
+class Simulation;
+
 /// Opaque, copyable handle to a scheduled event; used to cancel it.
 /// A default-constructed handle refers to nothing and is safe to cancel.
+/// A handle is a {slot, generation} ticket into the owning Simulation's
+/// event arena, so it must not outlive the Simulation it came from.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True while the event is still pending (not fired, not cancelled).
-  bool pending() const { return state_ && !state_->done; }
+  bool pending() const;
 
  private:
   friend class Simulation;
-  struct State {
-    bool done = false;  // fired or cancelled
-  };
-  explicit EventHandle(std::shared_ptr<State> state)
-      : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(const Simulation* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+  const Simulation* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulation {
@@ -54,7 +67,8 @@ class Simulation {
   EventHandle ScheduleAfter(SimDuration delay, Callback cb);
 
   /// Cancels a pending event; no-op if it already fired, was already
-  /// cancelled, or the handle is empty.
+  /// cancelled, or the handle is empty. The callback (and anything it
+  /// captured) is destroyed immediately, not when its timestamp is reached.
   void Cancel(EventHandle& handle);
 
   /// Processes every event with time <= `until`, then advances the clock to
@@ -69,18 +83,44 @@ class Simulation {
   /// True if the last RunAll stopped at its hard limit with work pending.
   bool LimitReached() const { return limit_reached_; }
 
-  /// Number of events executed so far (for microbenches and sanity checks).
+  // --- Stats surface (for benches, sweeps, and regression tests) ---
+
+  /// Number of events executed so far.
   std::uint64_t executed() const { return executed_; }
 
   /// Number of live (uncancelled, unfired) events in the queue.
   std::size_t pending() const { return live_; }
 
+  /// Raw heap size, including stale entries of cancelled events that have
+  /// not been compacted away yet. Bounded at < 2x pending() plus a small
+  /// floor by compaction.
+  std::size_t queued() const { return heap_.size(); }
+
+  /// Number of events cancelled so far.
+  std::uint64_t cancelled() const { return cancelled_; }
+
+  /// Number of heap compactions performed so far.
+  std::uint64_t compactions() const { return compactions_; }
+
+  /// True if the {slot, generation} ticket still names a pending event.
+  bool IsPending(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slots_.size() && slots_[slot].gen == gen;
+  }
+
  private:
+  // Callback storage, reused across events. `gen` is bumped every time the
+  // slot is released (fired or cancelled), which atomically invalidates the
+  // matching heap entry and every outstanding handle.
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;
+  };
+  // Heap entries are trivially copyable; the callback stays in the arena.
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
-    Callback cb;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   // Min-heap ordering (std::*_heap builds a max-heap, so invert).
   static bool Later(const Entry& a, const Entry& b) {
@@ -88,17 +128,36 @@ class Simulation {
     return a.seq > b.seq;
   }
 
+  // Don't bother compacting tiny heaps; below this the stale entries cost
+  // less than the make_heap.
+  static constexpr std::size_t kCompactMinEntries = 64;
+
   /// Pops and executes the earliest event; skips cancelled entries.
   /// Returns false when the queue is empty.
   bool Step(SimTime until);
 
+  /// Bumps the slot's generation (invalidating its heap entry and all
+  /// handles), destroys the callback, and returns the slot to the pool.
+  void ReleaseSlot(std::uint32_t slot);
+
+  /// Drops stale heap entries and restores the heap property.
+  void Compact();
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t compactions_ = 0;
   std::size_t live_ = 0;
   bool limit_reached_ = false;
   std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // released slot indices
 };
+
+inline bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->IsPending(slot_, gen_);
+}
 
 /// Repeatedly invokes a callback every `period` ticks until stopped.
 /// Mirrors daemon heartbeat loops. The callback fires first after one full
@@ -114,7 +173,9 @@ class PeriodicTimer {
   void Start(Simulation& sim, SimDuration period,
              std::function<void()> on_tick);
 
-  /// Stops future ticks; safe to call repeatedly or when never started.
+  /// Stops future ticks and detaches from the Simulation (safe even if the
+  /// Simulation is destroyed afterwards); safe to call repeatedly or when
+  /// never started. The timer can be Start()ed again, on any Simulation.
   void Stop();
 
   bool running() const { return running_; }

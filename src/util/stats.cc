@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/util/log.h"
+
 namespace hogsim {
 
 void RunningStats::Add(double x) {
@@ -27,18 +29,27 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double Percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
   std::sort(samples.begin(), samples.end());
-  const double pos = q * static_cast<double>(samples.size() - 1);
+  return PercentileSorted(samples, q);
+}
+
+double PercentileSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 void StepSeries::Record(SimTime t, double value) {
-  assert(points_.empty() || t >= points_.back().first);
+  if (!points_.empty() && t < points_.back().first) {
+    HOG_LOG(kWarn, t, "stats")
+        << "StepSeries::Record time went backwards (" << t << " < "
+        << points_.back().first << "); clamping";
+    t = points_.back().first;
+  }
   if (!points_.empty() && points_.back().first == t) {
     points_.back().second = value;
     return;

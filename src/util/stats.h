@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "src/util/units.h"
@@ -34,13 +35,20 @@ class RunningStats {
 /// order statistics). `q` in [0, 1].
 double Percentile(std::vector<double> samples, double q);
 
+/// Same, but over an already-sorted sample: no copy, no re-sort. Sort once
+/// and use this for repeated p50/p95/p99 queries (the sweep aggregator's
+/// hot pattern).
+double PercentileSorted(std::span<const double> sorted, double q);
+
 /// A right-continuous step function of simulated time, e.g. "number of live
 /// nodes". Used for the Fig. 5 availability traces and the Table IV
 /// area-beneath-curve metric.
 class StepSeries {
  public:
   /// Records that the series takes value `value` from time `t` onward.
-  /// Times must be non-decreasing; equal times overwrite.
+  /// Times should be non-decreasing; equal times overwrite. An out-of-order
+  /// `t` is clamped to the latest recorded time (with a warning) instead of
+  /// silently corrupting the series in release builds.
   void Record(SimTime t, double value);
 
   /// Value at time `t` (value of the latest record at or before `t`;

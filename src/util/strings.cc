@@ -47,7 +47,12 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
 
 std::string SiteFromHostname(std::string_view hostname) {
   hostname = Trim(hostname);
-  if (hostname.empty()) return "unknown";
+  // Tolerate FQDN-style trailing dots ("host.site.edu." == "host.site.edu").
+  while (!hostname.empty() && hostname.back() == '.') hostname.remove_suffix(1);
+  // A leading dot leaves an empty first label: malformed. This also keeps
+  // the rfind below from underflowing when the only dot is at index 0
+  // (".edu" used to come back as "edu").
+  if (hostname.empty() || hostname.front() == '.') return "unknown";
   // Find the last two dot-separated labels.
   const std::size_t last = hostname.rfind('.');
   if (last == std::string_view::npos) return std::string(hostname);

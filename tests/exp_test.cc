@@ -1,0 +1,150 @@
+// Unit tests for the exp::Sweep parallel multi-seed harness: determinism
+// (parallel == sequential, bit for bit), aggregation, and BENCH_*.json
+// serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep.h"
+#include "src/sim/simulation.h"
+#include "src/util/rng.h"
+
+namespace hogsim::exp {
+namespace {
+
+// A small but real simulation per run: schedule events at random times,
+// cancel a third, run to completion, report counters. Everything is a
+// function of (config, seed) only, so two executions must agree exactly.
+Metrics SimWorkload(std::size_t config, std::uint64_t seed) {
+  sim::Simulation sim;
+  Rng rng(seed + 1000 * (config + 1));
+  std::vector<sim::EventHandle> handles;
+  double sum = 0.0;
+  const int n = 2000;
+  handles.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    handles.push_back(sim.ScheduleAt(rng.UniformInt(0, 1'000'000),
+                                     [&] { sum += ToSeconds(sim.now()); }));
+  }
+  for (int i = 0; i < n; i += 3) {
+    sim.Cancel(handles[static_cast<std::size_t>(i)]);
+  }
+  sim.RunAll();
+  return {{"executed", static_cast<double>(sim.executed())},
+          {"sum_fire_time_s", sum},
+          {"compactions", static_cast<double>(sim.compactions())}};
+}
+
+TEST(Sweep, ParallelIsBitIdenticalToSequential) {
+  SweepSpec spec;
+  spec.name = "determinism";
+  spec.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.configs = 2;
+
+  spec.threads = 1;  // sequential reference, no pool at all
+  const SweepResult sequential = RunSweep(spec, SimWorkload);
+  spec.threads = 4;
+  const SweepResult parallel = RunSweep(spec, SimWorkload);
+
+  ASSERT_EQ(sequential.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < sequential.runs.size(); ++i) {
+    EXPECT_EQ(sequential.runs[i].config_index, parallel.runs[i].config_index);
+    EXPECT_EQ(sequential.runs[i].seed, parallel.runs[i].seed);
+    ASSERT_EQ(sequential.runs[i].metrics.size(),
+              parallel.runs[i].metrics.size());
+    for (std::size_t m = 0; m < sequential.runs[i].metrics.size(); ++m) {
+      EXPECT_EQ(sequential.runs[i].metrics[m].first,
+                parallel.runs[i].metrics[m].first);
+      // Bit-exact, not approximately equal.
+      EXPECT_EQ(sequential.runs[i].metrics[m].second,
+                parallel.runs[i].metrics[m].second);
+    }
+  }
+  // And the serialized artifacts agree byte for byte.
+  EXPECT_EQ(ToBenchJson(spec, sequential), ToBenchJson(spec, parallel));
+}
+
+TEST(Sweep, RunsAreConfigMajorSeedMinor) {
+  SweepSpec spec;
+  spec.seeds = {10, 20};
+  spec.configs = 2;
+  spec.threads = 2;
+  const auto result =
+      RunSweep(spec, [](std::size_t c, std::uint64_t s) -> Metrics {
+        return {{"id", static_cast<double>(100 * c + s)}};
+      });
+  ASSERT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.runs[0].metrics[0].second, 10);   // c0 s10
+  EXPECT_EQ(result.runs[1].metrics[0].second, 20);   // c0 s20
+  EXPECT_EQ(result.runs[2].metrics[0].second, 110);  // c1 s10
+  EXPECT_EQ(result.runs[3].metrics[0].second, 120);  // c1 s20
+  EXPECT_EQ(result.run(1, 0, spec.seeds.size()).seed, 10u);
+}
+
+TEST(Sweep, AggregatesSummaries) {
+  SweepSpec spec;
+  spec.seeds = {1, 2, 3, 4};
+  spec.configs = 1;
+  spec.threads = 1;
+  const auto result =
+      RunSweep(spec, [](std::size_t, std::uint64_t seed) -> Metrics {
+        return {{"v", static_cast<double>(seed)}};
+      });
+  ASSERT_EQ(result.summaries.size(), 1u);
+  ASSERT_EQ(result.summaries[0].size(), 1u);
+  const MetricSummary& s = result.summaries[0][0];
+  EXPECT_EQ(s.name, "v");
+  EXPECT_EQ(s.stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+  EXPECT_GT(s.ci95_halfwidth, 0.0);
+}
+
+TEST(Sweep, WritesBenchJson) {
+  SweepSpec spec;
+  spec.name = "core";
+  spec.seeds = {7, 9};
+  spec.configs = 1;
+  spec.config_labels = {"schedule_fire"};
+  spec.threads = 2;
+  const auto result = RunSweep(spec, SimWorkload);
+
+  const std::string path = testing::TempDir() + "BENCH_exp_test.json";
+  ASSERT_TRUE(WriteBenchJson(path, spec, result));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  std::remove(path.c_str());
+
+  EXPECT_NE(json.find("\"name\": \"core\""), std::string::npos);
+  EXPECT_NE(json.find("\"seeds\": [7, 9]"), std::string::npos);
+  EXPECT_NE(json.find("\"config\": \"schedule_fire\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"executed\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"ci95\""), std::string::npos);
+  EXPECT_EQ(json, ToBenchJson(spec, result));
+}
+
+TEST(Sweep, PropagatesWorkerExceptions) {
+  SweepSpec spec;
+  spec.seeds = {1, 2, 3};
+  spec.configs = 1;
+  spec.threads = 3;
+  EXPECT_THROW(RunSweep(spec,
+                        [](std::size_t, std::uint64_t seed) -> Metrics {
+                          if (seed == 2) throw std::runtime_error("boom");
+                          return {{"ok", 1.0}};
+                        }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hogsim::exp

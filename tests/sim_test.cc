@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event core.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "src/sim/simulation.h"
@@ -143,6 +145,92 @@ TEST(Simulation, EventsScheduledDuringExecutionRun) {
   EXPECT_EQ(depth, 5);
 }
 
+TEST(Simulation, QueueStatsSurface) {
+  Simulation sim;
+  auto h1 = sim.ScheduleAt(10, [] {});
+  auto h2 = sim.ScheduleAt(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.queued(), 2u);
+  sim.Cancel(h1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.queued(), 2u);  // stale entry lingers (lazy delete)
+  EXPECT_EQ(sim.cancelled(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.queued(), 0u);
+  EXPECT_TRUE(h2.pending() == false);
+}
+
+TEST(Simulation, CancelDestroysCallbackImmediately) {
+  Simulation sim;
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> observer = payload;
+  auto handle = sim.ScheduleAt(kHour, [payload] { (void)*payload; });
+  payload.reset();
+  EXPECT_FALSE(observer.expired());
+  sim.Cancel(handle);
+  // The captured state must be freed at cancel time, not when the event's
+  // timestamp is finally reached (its stale heap entry may still exist).
+  EXPECT_TRUE(observer.expired());
+}
+
+TEST(Simulation, StaleHandleCannotCancelSlotReuser) {
+  Simulation sim;
+  bool fired = false;
+  auto a = sim.ScheduleAt(10, [] {});
+  auto a_copy = a;
+  sim.Cancel(a);
+  // b reuses a's arena slot; the old handle (and its copy) must not see or
+  // affect it.
+  auto b = sim.ScheduleAt(20, [&] { fired = true; });
+  EXPECT_FALSE(a_copy.pending());
+  sim.Cancel(a_copy);  // no-op
+  EXPECT_TRUE(b.pending());
+  sim.RunAll();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(Simulation, CancelReArmLoopKeepsQueueBounded) {
+  Simulation sim;
+  EventHandle timeout;
+  std::size_t peak = 0;
+  // Heartbeat pattern: every 30 s, cancel the pending expiry and re-arm it.
+  // Under the old queue every cancelled entry lingered until its timestamp,
+  // so the heap grew linearly with simulated time.
+  for (int i = 0; i < 20000; ++i) {
+    sim.Cancel(timeout);
+    timeout = sim.ScheduleAfter(10 * kMinute, [] {});
+    sim.RunUntil(sim.now() + 30 * kSecond);
+    peak = std::max(peak, sim.queued());
+  }
+  EXPECT_EQ(sim.pending(), 1u);
+  // Stale top entries are dropped incrementally by Step, so the heap never
+  // grows with simulated time here.
+  EXPECT_LE(peak, 64u);
+}
+
+TEST(Simulation, CompactionBoundsBuriedStaleEntries) {
+  Simulation sim;
+  std::vector<EventHandle> handles;
+  handles.reserve(1024);
+  for (int i = 0; i < 1024; ++i) {
+    handles.push_back(sim.ScheduleAt(i, [] {}));
+  }
+  // Cancel 3/4 without running: these stale entries sit *behind* live ones,
+  // so only compaction (not Step's incremental drop) can reclaim them.
+  for (int i = 0; i < 1024; ++i) {
+    if (i % 4 != 0) sim.Cancel(handles[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(sim.pending(), 256u);
+  EXPECT_GT(sim.compactions(), 0u);
+  EXPECT_LT(sim.queued(), 1024u / 2);  // stale share held below half
+  sim.RunAll();
+  EXPECT_EQ(sim.executed(), 256u);
+  EXPECT_EQ(sim.queued(), 0u);
+}
+
 TEST(PeriodicTimer, TicksAtPeriod) {
   Simulation sim;
   PeriodicTimer timer;
@@ -192,6 +280,50 @@ TEST(PeriodicTimer, StopBeforeStartIsSafe) {
   PeriodicTimer timer;
   timer.Stop();  // no crash
   EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, StopThenRestart) {
+  Simulation sim;
+  PeriodicTimer timer;
+  std::vector<SimTime> ticks;
+  timer.Start(sim, 10, [&] { ticks.push_back(sim.now()); });
+  sim.RunUntil(25);
+  timer.Stop();
+  sim.RunUntil(60);
+  timer.Start(sim, 10, [&] { ticks.push_back(sim.now()); });
+  sim.RunUntil(85);
+  timer.Stop();
+  EXPECT_EQ(ticks, (std::vector<SimTime>{10, 20, 70, 80}));
+}
+
+TEST(PeriodicTimer, StopDetachesFromSimulation) {
+  PeriodicTimer timer;
+  int count = 0;
+  {
+    Simulation sim;
+    timer.Start(sim, 10, [&] { ++count; });
+    sim.RunUntil(25);
+    timer.Stop();
+  }  // sim destroyed; a stopped timer must hold no reference to it
+  Simulation sim2;
+  timer.Start(sim2, 10, [&] { ++count; });
+  sim2.RunUntil(20);
+  timer.Stop();
+  EXPECT_EQ(count, 4);
+}
+
+TEST(PeriodicTimer, RestartFromTickCallback) {
+  Simulation sim;
+  PeriodicTimer timer;
+  std::vector<SimTime> ticks;
+  const std::function<void()> fast = [&] { ticks.push_back(sim.now()); };
+  timer.Start(sim, 10, [&] {
+    ticks.push_back(sim.now());
+    timer.Start(sim, 5, fast);  // swap period + callback from inside a tick
+  });
+  sim.RunUntil(22);
+  timer.Stop();
+  EXPECT_EQ(ticks, (std::vector<SimTime>{10, 15, 20}));
 }
 
 }  // namespace

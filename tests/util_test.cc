@@ -1,9 +1,13 @@
 // Unit tests for src/util: units, rng, stats, strings, table.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <span>
 #include <sstream>
+#include <vector>
 
+#include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/strings.h"
@@ -158,6 +162,30 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
 }
 
+TEST(Stats, PercentileSortedMatchesPercentile) {
+  const std::vector<double> v{9, 1, 4, 4, 2, 8, 7};
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(PercentileSorted(sorted, q), Percentile(v, q));
+  }
+  EXPECT_DOUBLE_EQ(PercentileSorted(std::span<const double>{}, 0.5), 0.0);
+}
+
+TEST(Stats, StepSeriesOutOfOrderRecordClampsInsteadOfCorrupting) {
+  const LogLevel prev = Logger::level();
+  Logger::set_level(LogLevel::kOff);  // the clamp warns; keep the test quiet
+  StepSeries s;
+  s.Record(FromSeconds(10), 1.0);
+  s.Record(FromSeconds(5), 2.0);  // out of order: clamped to t=10s
+  EXPECT_EQ(s.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.At(FromSeconds(10)), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(FromSeconds(7)), 0.0);
+  s.Record(FromSeconds(20), 3.0);  // series still usable afterwards
+  EXPECT_DOUBLE_EQ(s.At(FromSeconds(20)), 3.0);
+  Logger::set_level(prev);
+}
+
 TEST(Stats, StepSeriesAtAndArea) {
   StepSeries s;
   s.Record(0, 10.0);
@@ -245,6 +273,19 @@ TEST(Strings, SiteFromHostname) {
   EXPECT_EQ(SiteFromHostname("localhost"), "localhost");
   EXPECT_EQ(SiteFromHostname(""), "unknown");
   EXPECT_EQ(SiteFromHostname("  cms-001.fnal.gov  "), "fnal.gov");
+}
+
+// Malformed and FQDN-style names must not wrap rfind's size_t position:
+// ".edu" used to come back as "edu" via an underflowed re-find of dot 0.
+TEST(Strings, SiteFromHostnameDotEdges) {
+  EXPECT_EQ(SiteFromHostname(".edu"), "unknown");
+  EXPECT_EQ(SiteFromHostname("."), "unknown");
+  EXPECT_EQ(SiteFromHostname("..."), "unknown");
+  EXPECT_EQ(SiteFromHostname(".a.b"), "unknown");
+  EXPECT_EQ(SiteFromHostname("host."), "host");
+  EXPECT_EQ(SiteFromHostname("node.site.edu."), "site.edu");
+  EXPECT_EQ(SiteFromHostname("host"), "host");
+  EXPECT_EQ(SiteFromHostname("a.b.c.d"), "c.d");
 }
 
 TEST(Table, PrintAligned) {
