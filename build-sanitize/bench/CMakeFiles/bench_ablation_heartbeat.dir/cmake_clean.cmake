@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_heartbeat.dir/bench_ablation_heartbeat.cc.o"
+  "CMakeFiles/bench_ablation_heartbeat.dir/bench_ablation_heartbeat.cc.o.d"
+  "bench_ablation_heartbeat"
+  "bench_ablation_heartbeat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

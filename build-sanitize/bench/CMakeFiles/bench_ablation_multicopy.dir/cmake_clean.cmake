@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multicopy.dir/bench_ablation_multicopy.cc.o"
+  "CMakeFiles/bench_ablation_multicopy.dir/bench_ablation_multicopy.cc.o.d"
+  "bench_ablation_multicopy"
+  "bench_ablation_multicopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multicopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

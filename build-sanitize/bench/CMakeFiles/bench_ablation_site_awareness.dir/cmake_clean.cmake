@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_site_awareness.dir/bench_ablation_site_awareness.cc.o"
+  "CMakeFiles/bench_ablation_site_awareness.dir/bench_ablation_site_awareness.cc.o.d"
+  "bench_ablation_site_awareness"
+  "bench_ablation_site_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_site_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

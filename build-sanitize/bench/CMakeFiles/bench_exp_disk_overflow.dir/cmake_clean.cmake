@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_disk_overflow.dir/bench_exp_disk_overflow.cc.o"
+  "CMakeFiles/bench_exp_disk_overflow.dir/bench_exp_disk_overflow.cc.o.d"
+  "bench_exp_disk_overflow"
+  "bench_exp_disk_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_disk_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

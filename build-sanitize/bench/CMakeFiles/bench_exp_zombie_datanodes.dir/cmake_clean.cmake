@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_zombie_datanodes.dir/bench_exp_zombie_datanodes.cc.o"
+  "CMakeFiles/bench_exp_zombie_datanodes.dir/bench_exp_zombie_datanodes.cc.o.d"
+  "bench_exp_zombie_datanodes"
+  "bench_exp_zombie_datanodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_zombie_datanodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

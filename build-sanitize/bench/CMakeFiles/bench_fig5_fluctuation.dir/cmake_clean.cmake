@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fluctuation.dir/bench_fig5_fluctuation.cc.o"
+  "CMakeFiles/bench_fig5_fluctuation.dir/bench_fig5_fluctuation.cc.o.d"
+  "bench_fig5_fluctuation"
+  "bench_fig5_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

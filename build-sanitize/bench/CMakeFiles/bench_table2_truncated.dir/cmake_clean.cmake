@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_truncated.dir/bench_table2_truncated.cc.o"
+  "CMakeFiles/bench_table2_truncated.dir/bench_table2_truncated.cc.o.d"
+  "bench_table2_truncated"
+  "bench_table2_truncated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_truncated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

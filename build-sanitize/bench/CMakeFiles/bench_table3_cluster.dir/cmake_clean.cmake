@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cluster.dir/bench_table3_cluster.cc.o"
+  "CMakeFiles/bench_table3_cluster.dir/bench_table3_cluster.cc.o.d"
+  "bench_table3_cluster"
+  "bench_table3_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

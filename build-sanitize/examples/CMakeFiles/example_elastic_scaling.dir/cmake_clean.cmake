@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_elastic_scaling.dir/elastic_scaling.cpp.o"
+  "CMakeFiles/example_elastic_scaling.dir/elastic_scaling.cpp.o.d"
+  "example_elastic_scaling"
+  "example_elastic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_elastic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

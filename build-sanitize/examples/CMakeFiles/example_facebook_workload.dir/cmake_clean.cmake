@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_facebook_workload.dir/facebook_workload.cpp.o"
+  "CMakeFiles/example_facebook_workload.dir/facebook_workload.cpp.o.d"
+  "example_facebook_workload"
+  "example_facebook_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_facebook_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

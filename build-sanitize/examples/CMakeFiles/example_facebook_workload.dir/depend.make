@@ -1,0 +1,2 @@
+# Empty dependencies file for example_facebook_workload.
+# This may be replaced when dependencies are built.

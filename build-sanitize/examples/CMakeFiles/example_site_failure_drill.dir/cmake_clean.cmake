@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_site_failure_drill.dir/site_failure_drill.cpp.o"
+  "CMakeFiles/example_site_failure_drill.dir/site_failure_drill.cpp.o.d"
+  "example_site_failure_drill"
+  "example_site_failure_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_site_failure_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_site_failure_drill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_zombie_datanodes.dir/zombie_datanodes.cpp.o"
+  "CMakeFiles/example_zombie_datanodes.dir/zombie_datanodes.cpp.o.d"
+  "example_zombie_datanodes"
+  "example_zombie_datanodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_zombie_datanodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

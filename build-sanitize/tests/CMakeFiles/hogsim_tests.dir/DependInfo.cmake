@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exp_test.cc" "tests/CMakeFiles/hogsim_tests.dir/exp_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/exp_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/hogsim_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/grid_test.cc" "tests/CMakeFiles/hogsim_tests.dir/grid_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/grid_test.cc.o.d"
+  "/root/repo/tests/hdfs_test.cc" "tests/CMakeFiles/hogsim_tests.dir/hdfs_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/hdfs_test.cc.o.d"
+  "/root/repo/tests/hog_test.cc" "tests/CMakeFiles/hogsim_tests.dir/hog_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/hog_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/hogsim_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/mapreduce_test.cc" "tests/CMakeFiles/hogsim_tests.dir/mapreduce_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/mapreduce_test.cc.o.d"
+  "/root/repo/tests/namenode_failover_test.cc" "tests/CMakeFiles/hogsim_tests.dir/namenode_failover_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/namenode_failover_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/hogsim_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/placement_property_test.cc" "tests/CMakeFiles/hogsim_tests.dir/placement_property_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/placement_property_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/hogsim_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/hogsim_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/hogsim_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/hogsim_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/CMakeFiles/hogsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

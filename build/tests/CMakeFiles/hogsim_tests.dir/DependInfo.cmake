@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exp_test.cc" "tests/CMakeFiles/hogsim_tests.dir/exp_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/exp_test.cc.o.d"
   "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/hogsim_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/extensions_test.cc.o.d"
   "/root/repo/tests/grid_test.cc" "tests/CMakeFiles/hogsim_tests.dir/grid_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/grid_test.cc.o.d"
   "/root/repo/tests/hdfs_test.cc" "tests/CMakeFiles/hogsim_tests.dir/hdfs_test.cc.o" "gcc" "tests/CMakeFiles/hogsim_tests.dir/hdfs_test.cc.o.d"
