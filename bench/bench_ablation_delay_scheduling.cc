@@ -1,85 +1,96 @@
 // Ablation: delay scheduling (Zaharia et al. — reference [3] of the
 // paper, and the source of its workload) on HOG. HOG's replication factor
 // 10 already buys excellent locality; delay scheduling is the scheduler-
-// side alternative. This bench measures both levers: FIFO vs FIFO+delay at
-// replication 3 and 10.
+// side alternative. This bench sweeps both levers across seeds: FIFO vs
+// FIFO+delay at replication 3 and 10.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
 
 namespace {
 
-struct Outcome {
-  double response_s = 0;
-  double local_fraction = 0;
-  Bytes remote_input = 0;
+struct Case {
+  const char* name;
+  int replication;
+  SimDuration wait;
 };
 
-Outcome Run(int replication, SimDuration wait) {
+constexpr Case kCases[] = {
+    {"rep 3, plain FIFO", 3, 0},
+    {"rep 3, FIFO + delay 10 s", 3, 10 * kSecond},
+    {"rep 10, plain FIFO (HOG)", 10, 0},
+    {"rep 10, FIFO + delay 10 s", 10, 10 * kSecond},
+};
+
+exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
   hog::HogConfig config;
-  config.replication = replication;
-  config.mr.locality_wait_node = wait;
-  config.mr.locality_wait_rack = wait;
-  hog::HogCluster cluster(bench::kSeeds[0], config);
+  config.replication = c.replication;
+  config.mr.locality_wait_node = c.wait;
+  config.mr.locality_wait_rack = c.wait;
+  hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
   if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
       !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
-    return {};
+    return {{"response_s", 0.0}, {"local_frac", 0.0}, {"remote_input_gib", 0.0}};
   }
-  Rng rng(bench::kSeeds[0]);
+  Rng rng(seed);
   workload::WorkloadConfig wl;
   auto schedule = workload::GenerateFacebookSchedule(rng, wl);
-  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  if (fast) schedule.resize(schedule.size() / 2);
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
   runner.SubmitAll(schedule);
   const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
-  Outcome outcome;
-  outcome.response_s = result.response_time_s;
   long long local = 0, rack = 0, remote = 0;
+  Bytes remote_input = 0;
   for (std::size_t j = 0; j < cluster.jobtracker().job_count(); ++j) {
     const auto& job = cluster.jobtracker().job(static_cast<mr::JobId>(j));
     local += job.data_local_maps;
     rack += job.rack_local_maps;
     remote += job.remote_maps;
-    outcome.remote_input += job.counters.remote_input_bytes;
+    remote_input += job.counters.remote_input_bytes;
   }
   const long long total = local + rack + remote;
-  outcome.local_fraction =
-      total > 0 ? static_cast<double>(local) / static_cast<double>(total) : 0;
-  return outcome;
+  return {{"response_s", result.response_time_s},
+          {"local_frac",
+           total > 0 ? static_cast<double>(local) / static_cast<double>(total)
+                     : 0.0},
+          {"remote_input_gib",
+           static_cast<double>(remote_input) / static_cast<double>(kGiB)}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
+  if (opts.fast) opts.seeds.resize(1);
+
   std::printf("Ablation: delay scheduling vs replication as locality levers "
-              "(60-node HOG)\n\n");
-  struct Case {
-    const char* name;
-    int replication;
-    SimDuration wait;
-  };
-  const Case cases[] = {
-      {"rep 3, plain FIFO", 3, 0},
-      {"rep 3, FIFO + delay 10 s", 3, 10 * kSecond},
-      {"rep 10, plain FIFO (HOG)", 10, 0},
-      {"rep 10, FIFO + delay 10 s", 10, 10 * kSecond},
-  };
+              "(60-node HOG; %zu seed(s))\n\n", opts.seeds.size());
+  exp::SweepSpec spec;
+  spec.name = "ablation_delay_scheduling";
+  spec.configs = std::size(kCases);
+  spec.config_labels = {"rep3_fifo", "rep3_delay10", "rep10_fifo",
+                        "rep10_delay10"};
+  const bool fast = opts.fast;
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
+        return Run(kCases[config], seed, fast);
+      });
+
   TextTable table({"scheduler", "response (s)", "node-local maps",
-                   "remote input"});
-  std::vector<Outcome> outcomes;
-  for (const Case& c : cases) {
-    const Outcome o = Run(c.replication, c.wait);
-    outcomes.push_back(o);
-    table.AddRow({c.name, FormatDouble(o.response_s, 0),
-                  FormatDouble(o.local_fraction * 100, 1) + "%",
-                  FormatBytes(o.remote_input)});
+                   "remote input (GiB)"});
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    const auto& m = sweep.summaries[c];
+    table.AddRow({kCases[c].name, FormatDouble(m[0].stats.mean(), 0),
+                  FormatDouble(m[1].stats.mean() * 100, 1) + "%",
+                  FormatDouble(m[2].stats.mean(), 1)});
   }
   table.Print(std::cout);
   std::printf(
@@ -92,13 +103,15 @@ int main() {
       "locality' (§IV.D.2) — raises locality without idling slots, which "
       "is why the scheduler-side trick that shines on stable clusters is "
       "the wrong tool on a churning grid.\n");
+  const auto local = [&](std::size_t c) {
+    return sweep.summaries[c][1].stats.mean();
+  };
+  const auto response = [&](std::size_t c) {
+    return sweep.summaries[c][0].stats.mean();
+  };
   std::printf("Delay scheduling lifts locality: %s; but costs response "
               "under churn: %s\n",
-              (outcomes[1].local_fraction > outcomes[0].local_fraction &&
-               outcomes[3].local_fraction > outcomes[2].local_fraction)
-                  ? "YES"
-                  : "NO",
-              (outcomes[1].response_s > outcomes[0].response_s) ? "YES"
-                                                                : "NO");
+              (local(1) > local(0) && local(3) > local(2)) ? "YES" : "NO",
+              response(1) > response(0) ? "YES" : "NO");
   return 0;
 }

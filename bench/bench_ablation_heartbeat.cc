@@ -2,71 +2,80 @@
 // heartbeat recheck (namenode) and tracker expiry (jobtracker) from the
 // traditional ~15 minutes to 30 seconds. Under grid churn, slow detection
 // leaves dead nodes carrying phantom replicas and assigned-but-dead tasks
-// for many minutes.
+// for many minutes. Swept across seeds; each recheck setting is a config.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
 
 namespace {
 
-struct Outcome {
-  double response_s = 0;
-  int failed_jobs = 0;
-  std::uint64_t maps_reexecuted = 0;
+struct Case {
+  const char* name;
+  SimDuration recheck;
 };
 
-Outcome Run(SimDuration recheck) {
+constexpr Case kCases[] = {
+    {"HOG (30 s)", 30 * kSecond},
+    {"2 min", 2 * kMinute},
+    {"traditional (15 min)", 15 * kMinute},
+};
+
+exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
   hog::HogConfig config;
-  config.heartbeat_recheck = recheck;
-  hog::HogCluster cluster(bench::kSeeds[0], config);
+  config.heartbeat_recheck = c.recheck;
+  hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
   if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
       !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
-    return {};
+    return {{"response_s", 0.0}, {"failed_jobs", 0.0}, {"maps_reexecuted", 0.0}};
   }
-  Rng rng(bench::kSeeds[0]);
+  Rng rng(seed);
   workload::WorkloadConfig wl;
   auto schedule = workload::GenerateFacebookSchedule(rng, wl);
-  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  if (fast) schedule.resize(schedule.size() / 2);
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
   runner.SubmitAll(schedule);
   const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
-  Outcome outcome;
-  outcome.response_s = result.response_time_s;
-  outcome.failed_jobs = result.failed;
-  outcome.maps_reexecuted = cluster.jobtracker().maps_reexecuted();
-  return outcome;
+  return {{"response_s", result.response_time_s},
+          {"failed_jobs", static_cast<double>(result.failed)},
+          {"maps_reexecuted",
+           static_cast<double>(cluster.jobtracker().maps_reexecuted())}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
+  if (opts.fast) opts.seeds.resize(1);
+
   std::printf("Ablation: failure-detection timeout under grid churn "
-              "(§III.B; paper lowers ~15 min -> 30 s)\n\n");
-  struct Case {
-    const char* name;
-    SimDuration recheck;
-  };
-  const Case cases[] = {
-      {"HOG (30 s)", 30 * kSecond},
-      {"2 min", 2 * kMinute},
-      {"traditional (15 min)", 15 * kMinute},
-  };
-  TextTable table({"recheck", "response (s)", "failed jobs",
+              "(§III.B; paper lowers ~15 min -> 30 s; %zu seed(s))\n\n",
+              opts.seeds.size());
+  exp::SweepSpec spec;
+  spec.name = "ablation_heartbeat";
+  spec.configs = std::size(kCases);
+  spec.config_labels = {"recheck_30s", "recheck_2min", "recheck_15min"};
+  const bool fast = opts.fast;
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
+        return Run(kCases[config], seed, fast);
+      });
+
+  TextTable table({"recheck", "response (s)", "ci95", "failed jobs",
                    "maps re-executed"});
-  std::vector<Outcome> outcomes;
-  for (const Case& c : cases) {
-    const Outcome o = Run(c.recheck);
-    outcomes.push_back(o);
-    table.AddRow({c.name, FormatDouble(o.response_s, 0),
-                  std::to_string(o.failed_jobs),
-                  std::to_string(o.maps_reexecuted)});
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    const auto& m = sweep.summaries[c];
+    table.AddRow({kCases[c].name, FormatDouble(m[0].stats.mean(), 0),
+                  "+-" + FormatDouble(m[0].ci95_halfwidth, 0),
+                  FormatDouble(m[1].stats.mean(), 1),
+                  FormatDouble(m[2].stats.mean(), 0)});
   }
   table.Print(std::cout);
   std::printf(
@@ -74,9 +83,11 @@ int main() {
       "task attempts and replicas on a dead node for up to 15 minutes "
       "before recovery starts, stretching (or wedging) the workload; 30 s "
       "detection recovers almost immediately.\n");
+  const auto response = [&](std::size_t c) {
+    return sweep.summaries[c][0].stats.mean();
+  };
   std::printf("30 s detection fastest: %s\n",
-              (outcomes[0].response_s <= outcomes[1].response_s &&
-               outcomes[0].response_s <= outcomes[2].response_s)
+              (response(0) <= response(1) && response(0) <= response(2))
                   ? "YES"
                   : "NO");
   return 0;

@@ -1,27 +1,22 @@
 // Ablation for §VI (future work, implemented here as an extension):
 // running a configurable number of copies of every task and taking the
 // fastest. The paper proposes this to mask node loss; the cost is extra
-// slot consumption.
+// slot consumption. Swept across seeds; each copy count is a config.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
-#include <algorithm>
-
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
 
 namespace {
 
-struct Outcome {
-  double response_s = 0;
-  double mean_job_response_s = 0;  // per-job latency: what copies mask
-  std::uint64_t attempts = 0;
-  int failed_jobs = 0;
-};
+constexpr int kNodes = 240;
 
-Outcome Run(int copies, int nodes) {
+exp::Metrics Run(int copies, std::uint64_t seed, bool fast) {
   hog::HogConfig config;
   config.task_copies = copies;
   config.sites = hog::DefaultOsgSites();
@@ -30,13 +25,18 @@ Outcome Run(int copies, int nodes) {
     site.burst_interval_s = 900.0;
     site.burst_fraction = 0.15;
   }
-  hog::HogCluster cluster(bench::kSeeds[1], config);
+  hog::HogCluster cluster(seed, config);
   // Over-request: under churn, running nodes settle below the lease
   // target (replacements sit in remote batch queues), so keep extra
   // pressure — standard GlideinWMS practice.
-  cluster.RequestNodes(nodes * 115 / 100);
-  if (!cluster.WaitForNodes(nodes, bench::kSpinUpDeadline)) return {};
-  Rng rng(bench::kSeeds[1]);
+  cluster.RequestNodes(kNodes * 115 / 100);
+  if (!cluster.WaitForNodes(kNodes, bench::kSpinUpDeadline)) {
+    return {{"response_s", 0.0},
+            {"mean_job_latency_s", 0.0},
+            {"attempts", 0.0},
+            {"failed_jobs", 0.0}};
+  }
+  Rng rng(seed);
   workload::WorkloadConfig wl;
   auto schedule = workload::GenerateFacebookSchedule(rng, wl);
   // Bins 1-4 (76 jobs): N-copy reduces multiply WAN shuffle N-fold, so the
@@ -45,7 +45,7 @@ Outcome Run(int copies, int nodes) {
   schedule.erase(std::remove_if(schedule.begin(), schedule.end(),
                                 [](const auto& j) { return j.bin > 4; }),
                  schedule.end());
-  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  if (fast) schedule.resize(schedule.size() / 2);
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
@@ -53,32 +53,43 @@ Outcome Run(int copies, int nodes) {
   // Bounded deadline: a blacklist-wedged job should cap the run, not
   // stretch it to the global limit.
   const auto result = runner.Run(cluster.sim().now() + 4 * kHour);
-  Outcome outcome;
-  outcome.response_s = result.response_time_s;
   RunningStats per_job;
   for (double r : result.job_response_s) per_job.Add(r);
-  outcome.mean_job_response_s = per_job.mean();
-  outcome.attempts = cluster.jobtracker().attempts_launched();
-  outcome.failed_jobs = result.failed;
-  return outcome;
+  return {{"response_s", result.response_time_s},
+          {"mean_job_latency_s", per_job.mean()},
+          {"attempts",
+           static_cast<double>(cluster.jobtracker().attempts_launched())},
+          {"failed_jobs", static_cast<double>(result.failed)}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
+  if (opts.fast) opts.seeds.resize(1);
+
   std::printf("Ablation: multi-copy task execution on a volatile grid "
-              "(§VI extension; N copies, fastest wins)\n");
+              "(§VI extension; N copies, fastest wins; %zu seed(s))\n",
+              opts.seeds.size());
   std::printf("(240 nodes: ample spare slots for the extra copies)\n\n");
+  exp::SweepSpec spec;
+  spec.name = "ablation_multicopy";
+  spec.configs = 3;
+  spec.config_labels = {"copies1", "copies2", "copies3"};
+  const bool fast = opts.fast;
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
+        return Run(static_cast<int>(config) + 1, seed, fast);
+      });
+
   TextTable table({"copies", "response (s)", "mean job latency (s)",
                    "attempts launched", "failed jobs"});
-  std::vector<Outcome> outcomes;
-  for (int copies : {1, 2, 3}) {
-    const Outcome o = Run(copies, 240);
-    outcomes.push_back(o);
-    table.AddRow({std::to_string(copies), FormatDouble(o.response_s, 0),
-                  FormatDouble(o.mean_job_response_s, 0),
-                  std::to_string(o.attempts),
-                  std::to_string(o.failed_jobs)});
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    const auto& m = sweep.summaries[c];
+    table.AddRow({std::to_string(c + 1), FormatDouble(m[0].stats.mean(), 0),
+                  FormatDouble(m[1].stats.mean(), 0),
+                  FormatDouble(m[2].stats.mean(), 0),
+                  FormatDouble(m[3].stats.mean(), 1)});
   }
   table.Print(std::cout);
   std::printf(
@@ -88,12 +99,13 @@ int main() {
       "shuffle, and WAN demand — so the benefit only materializes while "
       "the extra copies stay effectively free. Attempts grow ~linearly "
       "with N either way.\n");
-  const bool second_copy_helps =
-      outcomes[1].response_s < outcomes[0].response_s;
+  const auto response = [&](std::size_t c) {
+    return sweep.summaries[c][0].stats.mean();
+  };
+  const bool second_copy_helps = response(1) < response(0);
   std::printf("Measured: second copy %s response (%.0f -> %.0f s); third "
               "copy adds %.0f s.\n",
               second_copy_helps ? "improves" : "does not improve",
-              outcomes[0].response_s, outcomes[1].response_s,
-              outcomes[2].response_s - outcomes[1].response_s);
+              response(0), response(1), response(2) - response(1));
   return 0;
 }

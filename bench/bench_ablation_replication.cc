@@ -2,26 +2,22 @@
 // The paper raises HDFS replication from 3 to 10 because simultaneous
 // preemptions routinely outrun re-replication. This bench sweeps the
 // replication factor under bursty preemption and reports data
-// availability and workload response.
+// availability and workload response. Each factor is a config; results
+// aggregate across seeds.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
 
 namespace {
 
-struct Outcome {
-  double response_s = 0;
-  int failed_jobs = 0;
-  std::size_t missing_blocks = 0;
-  std::uint64_t replications = 0;
-  Bytes replication_bytes = 0;
-};
+constexpr int kFactors[] = {2, 3, 10};
 
-Outcome Run(int replication) {
+exp::Metrics Run(int replication, std::uint64_t seed, bool fast) {
   hog::HogConfig config;
   config.replication = replication;
   config.sites = hog::DefaultOsgSites();
@@ -30,47 +26,65 @@ Outcome Run(int replication) {
     site.burst_interval_s = 900.0;  // simultaneous preemptions are common
     site.burst_fraction = 0.15;
   }
-  hog::HogCluster cluster(bench::kSeeds[1], config);
+  hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
   if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
       !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
-    return {};
+    return {{"response_s", 0.0},
+            {"failed_jobs", 0.0},
+            {"missing_blocks", 0.0},
+            {"replications", 0.0},
+            {"replication_gib", 0.0}};
   }
-  Rng rng(bench::kSeeds[1]);
+  Rng rng(seed);
   workload::WorkloadConfig wl;
   auto schedule = workload::GenerateFacebookSchedule(rng, wl);
-  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  if (fast) schedule.resize(schedule.size() / 2);
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
   runner.SubmitAll(schedule);
   const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
-  Outcome outcome;
-  outcome.response_s = result.response_time_s;
-  outcome.failed_jobs = result.failed;
-  outcome.missing_blocks = cluster.namenode().missing_blocks();
-  outcome.replications = cluster.namenode().replications_completed();
-  outcome.replication_bytes = cluster.namenode().replication_bytes();
-  return outcome;
+  return {{"response_s", result.response_time_s},
+          {"failed_jobs", static_cast<double>(result.failed)},
+          {"missing_blocks",
+           static_cast<double>(cluster.namenode().missing_blocks())},
+          {"replications",
+           static_cast<double>(cluster.namenode().replications_completed())},
+          {"replication_gib",
+           static_cast<double>(cluster.namenode().replication_bytes()) /
+               static_cast<double>(kGiB)}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
+  if (opts.fast) opts.seeds.resize(1);
+
   std::printf("Ablation: HDFS replication factor under bursty preemption "
-              "(§III.B.1; paper picks 10)\n\n");
+              "(§III.B.1; paper picks 10; %zu seed(s))\n\n",
+              opts.seeds.size());
+  exp::SweepSpec spec;
+  spec.name = "ablation_replication";
+  spec.configs = std::size(kFactors);
+  spec.config_labels = {"rep2", "rep3", "rep10"};
+  const bool fast = opts.fast;
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
+        return Run(kFactors[config], seed, fast);
+      });
+
   TextTable table({"replication", "response (s)", "failed jobs",
-                   "missing blocks", "re-replications", "re-repl traffic"});
-  std::vector<Outcome> outcomes;
-  const int factors[] = {2, 3, 10};
-  for (int rep : factors) {
-    const Outcome o = Run(rep);
-    outcomes.push_back(o);
-    table.AddRow({std::to_string(rep), FormatDouble(o.response_s, 0),
-                  std::to_string(o.failed_jobs),
-                  std::to_string(o.missing_blocks),
-                  std::to_string(o.replications),
-                  FormatBytes(o.replication_bytes)});
+                   "missing blocks", "re-replications", "re-repl (GiB)"});
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    const auto& m = sweep.summaries[c];
+    table.AddRow({std::to_string(kFactors[c]),
+                  FormatDouble(m[0].stats.mean(), 0),
+                  FormatDouble(m[1].stats.mean(), 1),
+                  FormatDouble(m[2].stats.mean(), 1),
+                  FormatDouble(m[3].stats.mean(), 0),
+                  FormatDouble(m[4].stats.mean(), 1)});
   }
   table.Print(std::cout);
   std::printf(
@@ -79,5 +93,10 @@ int main() {
       "10 keeps data available at the cost of heavier re-replication "
       "traffic (the paper's trade-off: 'too many replicas would impose "
       "extra overhead ... too few would cause frequent data failures').\n");
+  const auto missing = [&](std::size_t c) {
+    return sweep.summaries[c][2].stats.mean();
+  };
+  std::printf("Replication 10 loses no more data than 2: %s\n",
+              missing(2) <= missing(0) ? "YES" : "NO");
   return 0;
 }

@@ -2,60 +2,79 @@
 // encryption of HOG's HTTP communication. The paper plans to encrypt RPC
 // to prevent man-in-the-middle attacks on the open grid; this bench
 // measures what that protection would cost on the evaluation workload.
+// Each crypto setting is a config; the slowdown column compares summary
+// means against the plain-HTTP config.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
 
 namespace {
 
-double Run(SimDuration handshake, double byte_overhead) {
+struct Case {
+  const char* name;
+  SimDuration handshake;
+  double overhead;
+};
+
+constexpr Case kCases[] = {
+    {"plain HTTP (paper's current HOG)", 0, 0.0},
+    {"PKI: +5 ms handshake, +10% cipher cost", 5 * kMillisecond, 0.10},
+    {"PKI worst-case: +20 ms, +25%", 20 * kMillisecond, 0.25},
+};
+
+exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
   hog::HogConfig config;
-  config.net.crypto_latency = handshake;
-  config.net.crypto_byte_overhead = byte_overhead;
-  hog::HogCluster cluster(bench::kSeeds[0], config);
+  config.net.crypto_latency = c.handshake;
+  config.net.crypto_byte_overhead = c.overhead;
+  hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
   if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
       !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
-    return -1;
+    return {{"response_s", 0.0}};
   }
-  Rng rng(bench::kSeeds[0]);
+  Rng rng(seed);
   workload::WorkloadConfig wl;
   auto schedule = workload::GenerateFacebookSchedule(rng, wl);
-  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  if (fast) schedule.resize(schedule.size() / 2);
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
   runner.SubmitAll(schedule);
-  return runner.Run(cluster.sim().now() + bench::kRunDeadline)
-      .response_time_s;
+  return {{"response_s",
+           runner.Run(cluster.sim().now() + bench::kRunDeadline)
+               .response_time_s}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
+  if (opts.fast) opts.seeds.resize(1);
+
   std::printf("Ablation: §VI security — PKI-encrypted HTTP communication "
-              "(60-node HOG)\n\n");
-  struct Case {
-    const char* name;
-    SimDuration handshake;
-    double overhead;
-  };
-  const Case cases[] = {
-      {"plain HTTP (paper's current HOG)", 0, 0.0},
-      {"PKI: +5 ms handshake, +10% cipher cost", 5 * kMillisecond, 0.10},
-      {"PKI worst-case: +20 ms, +25%", 20 * kMillisecond, 0.25},
-  };
-  TextTable table({"configuration", "response (s)", "slowdown"});
-  double baseline = 0;
-  for (const Case& c : cases) {
-    const double response = Run(c.handshake, c.overhead);
-    if (baseline == 0) baseline = response;
-    table.AddRow({c.name, FormatDouble(response, 0),
-                  FormatDouble(response / baseline, 2) + "x"});
+              "(60-node HOG; %zu seed(s))\n\n", opts.seeds.size());
+  exp::SweepSpec spec;
+  spec.name = "ablation_security";
+  spec.configs = std::size(kCases);
+  spec.config_labels = {"plain", "pki_moderate", "pki_worst"};
+  const bool fast = opts.fast;
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
+        return Run(kCases[config], seed, fast);
+      });
+
+  const double baseline = sweep.summaries[0][0].stats.mean();
+  TextTable table({"configuration", "response (s)", "ci95", "slowdown"});
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    const exp::MetricSummary& m = sweep.summaries[c][0];
+    table.AddRow({kCases[c].name, FormatDouble(m.stats.mean(), 0),
+                  "+-" + FormatDouble(m.ci95_halfwidth, 0),
+                  FormatDouble(m.stats.mean() / baseline, 2) + "x"});
   }
   table.Print(std::cout);
   std::printf(

@@ -2,41 +2,44 @@
 // sites so that replicas spread across administrative failure domains.
 // This bench kills an entire site mid-workload and compares site-aware
 // placement against flat (topology-blind) placement at equal replication.
+// The two placements are the sweep's configs; results aggregate across
+// seeds.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
 
 namespace {
 
-struct Outcome {
-  double response_s = 0;
-  int failed_jobs = 0;
-  std::size_t missing_blocks = 0;
-  int data_local = 0;
-  int remote = 0;
-};
+constexpr int kReplication = 4;
 
-Outcome Run(bool site_aware, int replication) {
+exp::Metrics Run(bool site_aware, std::uint64_t seed, bool fast) {
   hog::HogConfig config;
   config.site_awareness = site_aware;
-  config.replication = replication;
+  config.replication = kReplication;
   config.sites = hog::DefaultOsgSites();
   for (auto& site : config.sites) {
     site.node_mtbf_s = 1e9;  // isolate the site-outage effect
     site.burst_interval_s = 0;
   }
-  hog::HogCluster cluster(bench::kSeeds[2], config);
+  hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
-  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline)) return {};
+  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline)) {
+    return {{"response_s", 0.0},
+            {"failed_jobs", 0.0},
+            {"missing_blocks", 0.0},
+            {"data_local_maps", 0.0},
+            {"remote_maps", 0.0}};
+  }
 
-  Rng rng(bench::kSeeds[2]);
+  Rng rng(seed);
   workload::WorkloadConfig wl;
   auto schedule = workload::GenerateFacebookSchedule(rng, wl);
-  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  if (fast) schedule.resize(schedule.size() / 2);
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
@@ -47,47 +50,61 @@ Outcome Run(bool site_aware, int replication) {
     cluster.grid().PreemptSiteFraction(0, 1.0);
   });
   const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
-  Outcome outcome;
-  outcome.response_s = result.response_time_s;
-  outcome.failed_jobs = result.failed;
-  outcome.missing_blocks = cluster.namenode().missing_blocks();
+  long long data_local = 0, remote = 0;
   for (std::size_t j = 0; j < cluster.jobtracker().job_count(); ++j) {
     const auto& job = cluster.jobtracker().job(static_cast<mr::JobId>(j));
-    outcome.data_local += job.data_local_maps;
-    outcome.remote += job.remote_maps;
+    data_local += job.data_local_maps;
+    remote += job.remote_maps;
   }
-  return outcome;
+  return {{"response_s", result.response_time_s},
+          {"failed_jobs", static_cast<double>(result.failed)},
+          {"missing_blocks",
+           static_cast<double>(cluster.namenode().missing_blocks())},
+          {"data_local_maps", static_cast<double>(data_local)},
+          {"remote_maps", static_cast<double>(remote)}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
+  if (opts.fast) opts.seeds.resize(1);
+
   std::printf("Ablation: site awareness under a whole-site outage "
-              "(§III.B.1)\n");
-  std::printf("(replication 4 to make placement quality matter; site 0 "
-              "dies at t+5 min)\n\n");
+              "(§III.B.1; %zu seed(s))\n", opts.seeds.size());
+  std::printf("(replication %d to make placement quality matter; site 0 "
+              "dies at t+5 min)\n\n", kReplication);
+  exp::SweepSpec spec;
+  spec.name = "ablation_site_awareness";
+  spec.configs = 2;
+  spec.config_labels = {"site_aware", "flat"};
+  const bool fast = opts.fast;
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
+        return Run(config == 0, seed, fast);
+      });
+
+  const char* names[] = {"hog-site-aware", "flat (topology-blind)"};
   TextTable table({"placement", "response (s)", "failed jobs",
                    "missing blocks", "node-local maps", "remote maps"});
-  const Outcome aware = Run(true, 4);
-  const Outcome flat = Run(false, 4);
-  table.AddRow({"hog-site-aware", FormatDouble(aware.response_s, 0),
-                std::to_string(aware.failed_jobs),
-                std::to_string(aware.missing_blocks),
-                std::to_string(aware.data_local),
-                std::to_string(aware.remote)});
-  table.AddRow({"flat (topology-blind)", FormatDouble(flat.response_s, 0),
-                std::to_string(flat.failed_jobs),
-                std::to_string(flat.missing_blocks),
-                std::to_string(flat.data_local),
-                std::to_string(flat.remote)});
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    const auto& m = sweep.summaries[c];
+    table.AddRow({names[c], FormatDouble(m[0].stats.mean(), 0),
+                  FormatDouble(m[1].stats.mean(), 1),
+                  FormatDouble(m[2].stats.mean(), 1),
+                  FormatDouble(m[3].stats.mean(), 0),
+                  FormatDouble(m[4].stats.mean(), 0)});
+  }
   table.Print(std::cout);
   std::printf(
       "\nExpected shape: site-aware placement guarantees replicas outside "
       "the failed site, so no blocks go missing; blind placement can lose "
       "all copies of a block to one site (paper: sites are the natural "
       "failure domain of the grid).\n");
+  const auto missing = [&](std::size_t c) {
+    return sweep.summaries[c][2].stats.mean();
+  };
   std::printf("Site awareness avoids data loss at least as well as flat: "
-              "%s\n",
-              aware.missing_blocks <= flat.missing_blocks ? "YES" : "NO");
+              "%s\n", missing(0) <= missing(1) ? "YES" : "NO");
   return 0;
 }

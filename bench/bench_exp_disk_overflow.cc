@@ -4,94 +4,109 @@
 // with out-of-disk errors reported to the jobtracker.
 //
 // Small scratch disks make the effect visible at bench scale; the
-// comparison shows the same workload on roomy disks stays clean.
+// comparison shows the same workload on roomy disks stays clean. Each disk
+// size is a sweep config; results aggregate across seeds.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
 
 namespace {
 
-struct Outcome {
-  double response_s = 0;
-  int failed_jobs = 0;
-  int succeeded = 0;
-  std::uint64_t attempts = 0;
-  double peak_disk_util = 0;
+struct Case {
+  const char* name;
+  Bytes disk;
 };
 
-Outcome Run(Bytes node_disk) {
+constexpr Case kCases[] = {
+    {"tight scratch disks (8 GiB)", 8 * kGiB},
+    {"roomy scratch disks (100 GiB)", 100 * kGiB},
+};
+
+exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
   hog::HogConfig config;
-  for (auto& site : config.sites) site.node_disk = node_disk;
   config.sites = hog::DefaultOsgSites();
   for (auto& site : config.sites) {
-    site.node_disk = node_disk;
+    site.node_disk = c.disk;
     site.node_mtbf_s = 1e9;  // isolate the disk effect from churn
     site.burst_interval_s = 0;
   }
-  hog::HogCluster cluster(bench::kSeeds[0], config);
+  hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(40);
-  if (!cluster.WaitForNodes(40, bench::kSpinUpDeadline)) return {};
+  if (!cluster.WaitForNodes(40, bench::kSpinUpDeadline)) {
+    return {{"response_s", 0.0},
+            {"jobs_ok", 0.0},
+            {"jobs_failed", 0.0},
+            {"attempts", 0.0},
+            {"peak_disk_util", 0.0}};
+  }
 
-  Rng rng(bench::kSeeds[0]);
+  Rng rng(seed);
   workload::WorkloadConfig wl;
   auto schedule = workload::GenerateFacebookSchedule(rng, wl);
   // Keep input volume modest so the *intermediate* data is what overflows.
   schedule.erase(std::remove_if(schedule.begin(), schedule.end(),
                                 [](const auto& j) { return j.bin > 5; }),
                  schedule.end());
+  if (fast) schedule.resize(schedule.size() / 2);
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
   runner.SubmitAll(schedule);
 
   // Track peak disk utilization across workers while running.
-  Outcome outcome;
-  while (!runner.Done() &&
-         cluster.sim().now() < bench::kRunDeadline) {
+  double peak_disk_util = 0;
+  while (!runner.Done() && cluster.sim().now() < bench::kRunDeadline) {
     cluster.sim().RunUntil(cluster.sim().now() + 30 * kSecond);
     for (auto id : cluster.grid().RunningNodeIds()) {
       const auto& disk = cluster.grid().node(id)->disk();
-      outcome.peak_disk_util = std::max(
-          outcome.peak_disk_util, static_cast<double>(disk.used()) /
-                                      static_cast<double>(disk.capacity()));
+      peak_disk_util =
+          std::max(peak_disk_util, static_cast<double>(disk.used()) /
+                                       static_cast<double>(disk.capacity()));
     }
   }
   const auto result = runner.Collect();
-  outcome.response_s = result.response_time_s;
-  outcome.failed_jobs = result.failed;
-  outcome.succeeded = result.succeeded;
-  outcome.attempts = cluster.jobtracker().attempts_launched();
-  return outcome;
+  return {{"response_s", result.response_time_s},
+          {"jobs_ok", static_cast<double>(result.succeeded)},
+          {"jobs_failed", static_cast<double>(result.failed)},
+          {"attempts",
+           static_cast<double>(cluster.jobtracker().attempts_launched())},
+          {"peak_disk_util", peak_disk_util}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
+  if (opts.fast) opts.seeds.resize(1);
+
   std::printf("§IV.D.2: disk overflow from retained intermediate data\n");
   std::printf("(replication 10, 40 nodes, bins 1-5; Hadoop keeps map output "
-              "until the job completes)\n\n");
-  struct Case {
-    const char* name;
-    Bytes disk;
-  };
-  const Case cases[] = {
-      {"tight scratch disks (8 GiB)", 8 * kGiB},
-      {"roomy scratch disks (100 GiB)", 100 * kGiB},
-  };
+              "until the job completes; %zu seed(s))\n\n", opts.seeds.size());
+  exp::SweepSpec spec;
+  spec.name = "exp_disk_overflow";
+  spec.configs = std::size(kCases);
+  spec.config_labels = {"disk8gib", "disk100gib"};
+  const bool fast = opts.fast;
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
+        return Run(kCases[config], seed, fast);
+      });
+
   TextTable table({"configuration", "response (s)", "jobs ok", "jobs failed",
                    "attempts", "peak disk util"});
-  std::vector<Outcome> outcomes;
-  for (const Case& c : cases) {
-    const Outcome o = Run(c.disk);
-    outcomes.push_back(o);
-    table.AddRow({c.name, FormatDouble(o.response_s, 0),
-                  std::to_string(o.succeeded), std::to_string(o.failed_jobs),
-                  std::to_string(o.attempts),
-                  FormatDouble(o.peak_disk_util * 100, 1) + "%"});
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    const auto& m = sweep.summaries[c];
+    table.AddRow({kCases[c].name, FormatDouble(m[0].stats.mean(), 0),
+                  FormatDouble(m[1].stats.mean(), 1),
+                  FormatDouble(m[2].stats.mean(), 1),
+                  FormatDouble(m[3].stats.mean(), 0),
+                  FormatDouble(m[4].stats.mean() * 100, 1) + "%"});
   }
   table.Print(std::cout);
   std::printf(
@@ -99,10 +114,12 @@ int main() {
       "out-of-disk task failures (extra attempts, possibly failed jobs), "
       "exactly the worker-out-of-disk errors the paper saw; roomy disks "
       "stay clean.\n");
+  const auto mean = [&](std::size_t c, std::size_t metric) {
+    return sweep.summaries[c][metric].stats.mean();
+  };
   std::printf("Overflow visible on tight disks: %s\n",
-              (outcomes[0].peak_disk_util > 0.97 &&
-               (outcomes[0].failed_jobs > outcomes[1].failed_jobs ||
-                outcomes[0].attempts > outcomes[1].attempts))
+              (mean(0, 4) > 0.97 &&
+               (mean(0, 2) > mean(1, 2) || mean(0, 3) > mean(1, 3)))
                   ? "YES"
                   : "NO");
   return 0;

@@ -7,15 +7,17 @@
 // (so the site's kill reaches them).
 //
 // Design: identical runs with an identical injected preemption schedule
-// (four waves, each evicting 15% of a site), differing only in what a
+// (six waves, each evicting 20% of a site), differing only in what a
 // preemption does to the daemons:
 //   1. first-iteration HOG: daemons escape; no probe (the bug)
 //   2. probe fix:           daemons escape; 3-minute probe reaps them
 //   3. process-tree fix:    the kill takes the daemons down with the job
+// Each variant is a sweep config; results aggregate across seeds.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
@@ -28,15 +30,13 @@ struct Variant {
   SimDuration probe_interval;
 };
 
-struct Outcome {
-  double response_s = 0;
-  std::uint64_t zombie_events = 0;
-  int zombies_left = 0;
-  int failed_jobs = 0;
-  std::uint64_t attempts = 0;
+constexpr Variant kVariants[] = {
+    {"double-fork, no probe (bug)", 1.0, 0},
+    {"double-fork + 3 min probe (fix 1)", 1.0, 3 * kMinute},
+    {"single process tree (fix 2)", 0.0, 3 * kMinute},
 };
 
-Outcome RunVariant(const Variant& variant) {
+exp::Metrics Run(const Variant& variant, std::uint64_t seed, bool fast) {
   hog::HogConfig config;
   config.grid.zombie_probability = variant.zombie_probability;
   config.disk_check_interval = variant.probe_interval;
@@ -45,14 +45,20 @@ Outcome RunVariant(const Variant& variant) {
     site.node_mtbf_s = 1e9;  // all preemption comes from the injections
     site.burst_interval_s = 0;
   }
-  hog::HogCluster cluster(bench::kSeeds[0], config);
+  hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(55);
-  if (!cluster.WaitForNodes(55, bench::kSpinUpDeadline)) return {};
+  if (!cluster.WaitForNodes(55, bench::kSpinUpDeadline)) {
+    return {{"response_s", 0.0},
+            {"failed_jobs", 0.0},
+            {"attempts", 0.0},
+            {"zombie_events", 0.0},
+            {"zombies_left", 0.0}};
+  }
 
-  Rng rng(bench::kSeeds[0]);
+  Rng rng(seed);
   workload::WorkloadConfig wl;
   auto schedule = workload::GenerateFacebookSchedule(rng, wl);
-  if (bench::FastMode()) schedule.resize(schedule.size() / 2);
+  if (fast) schedule.resize(schedule.size() / 2);
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
@@ -69,37 +75,44 @@ Outcome RunVariant(const Variant& variant) {
                                 });
   }
   const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
-  Outcome outcome;
-  outcome.response_s = result.response_time_s;
-  outcome.zombie_events = cluster.grid().zombie_events();
-  outcome.zombies_left = cluster.grid().zombie_nodes();
-  outcome.failed_jobs = result.failed;
-  outcome.attempts = cluster.jobtracker().attempts_launched();
-  return outcome;
+  return {{"response_s", result.response_time_s},
+          {"failed_jobs", static_cast<double>(result.failed)},
+          {"attempts",
+           static_cast<double>(cluster.jobtracker().attempts_launched())},
+          {"zombie_events",
+           static_cast<double>(cluster.grid().zombie_events())},
+          {"zombies_left",
+           static_cast<double>(cluster.grid().zombie_nodes())}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
+  if (opts.fast) opts.seeds.resize(1);
+
   std::printf("§IV.D.1: abandoned (zombie) datanodes\n");
   std::printf("(identical 6-wave preemption injection; only the daemons' "
-              "fate differs)\n\n");
-  const Variant variants[] = {
-      {"double-fork, no probe (bug)", 1.0, 0},
-      {"double-fork + 3 min probe (fix 1)", 1.0, 3 * kMinute},
-      {"single process tree (fix 2)", 0.0, 3 * kMinute},
-  };
+              "fate differs; %zu seed(s))\n\n", opts.seeds.size());
+  exp::SweepSpec spec;
+  spec.name = "exp_zombie_datanodes";
+  spec.configs = std::size(kVariants);
+  spec.config_labels = {"bug_no_probe", "probe_3min", "process_tree"};
+  const bool fast = opts.fast;
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
+        return Run(kVariants[config], seed, fast);
+      });
+
   TextTable table({"variant", "response (s)", "failed jobs",
                    "attempts", "zombie events", "zombies at end"});
-  std::vector<Outcome> outcomes;
-  for (const auto& variant : variants) {
-    const Outcome outcome = RunVariant(variant);
-    outcomes.push_back(outcome);
-    table.AddRow({variant.name, FormatDouble(outcome.response_s, 0),
-                  std::to_string(outcome.failed_jobs),
-                  std::to_string(outcome.attempts),
-                  std::to_string(outcome.zombie_events),
-                  std::to_string(outcome.zombies_left)});
+  for (std::size_t c = 0; c < spec.configs; ++c) {
+    const auto& m = sweep.summaries[c];
+    table.AddRow({kVariants[c].name, FormatDouble(m[0].stats.mean(), 0),
+                  FormatDouble(m[1].stats.mean(), 1),
+                  FormatDouble(m[2].stats.mean(), 0),
+                  FormatDouble(m[3].stats.mean(), 1),
+                  FormatDouble(m[4].stats.mean(), 1)});
   }
   table.Print(std::cout);
   std::printf(
@@ -110,15 +123,15 @@ int main() {
       "zombies within ~3 minutes, cutting the failures; the process-tree "
       "fix never creates zombies and is the only variant that completes "
       "the whole workload.\n");
+  const auto mean = [&](std::size_t c, std::size_t metric) {
+    return sweep.summaries[c][metric].stats.mean();
+  };
   std::printf("Failed jobs strictly improve bug -> probe -> process-tree: "
               "%s; zombies drained by the fixes: %s\n",
-              (outcomes[0].failed_jobs > outcomes[1].failed_jobs &&
-               outcomes[1].failed_jobs > outcomes[2].failed_jobs)
-                  ? "YES"
-                  : "NO",
-              (static_cast<std::uint64_t>(outcomes[0].zombies_left) >=
-                   outcomes[0].zombie_events &&
-               outcomes[1].zombies_left <= 2 && outcomes[2].zombies_left == 0)
+              (mean(0, 1) > mean(1, 1) && mean(1, 1) > mean(2, 1)) ? "YES"
+                                                                   : "NO",
+              (mean(0, 4) >= mean(0, 3) && mean(1, 4) <= 2 &&
+               mean(2, 4) == 0)
                   ? "YES"
                   : "NO");
   return 0;

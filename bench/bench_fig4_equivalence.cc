@@ -4,69 +4,99 @@
 // 100-core cluster's constant baseline. The paper's headline: HOG needs
 // [99,100] nodes for equivalent performance.
 //
-// HOGSIM_FAST=1 trims to one seed and a subset of points.
+// Sweep layout: config 0 is the dedicated cluster, configs 1..N the HOG
+// sampling points; all (config, seed) runs execute in parallel on the
+// exp::Sweep pool with per-run results identical to sequential execution.
+// --fast (or HOGSIM_FAST=1) trims to one seed and a subset of points.
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
   // The paper's x-axis sampling points.
   std::vector<int> points = {40, 50, 55, 60, 99, 100, 132, 160, 171, 180,
                              974, 1101};
-  int seeds = 3;
-  if (bench::FastMode()) {
+  if (opts.fast) {
     points = {55, 100, 180};
-    seeds = 1;
+    opts.seeds.resize(1);
   }
 
   std::printf("Fig. 4: HOG vs. cluster equivalent performance\n");
-  std::printf("(Facebook workload; %d run(s) per point)\n\n", seeds);
+  std::printf("(Facebook workload; %zu run(s) per point)\n\n",
+              opts.seeds.size());
 
-  // Baseline: the dashed line.
-  RunningStats cluster;
-  for (int i = 0; i < seeds; ++i) {
-    cluster.Add(bench::RunClusterWorkload(bench::kSeeds[i]).response_time_s);
+  exp::SweepSpec spec;
+  spec.name = "fig4";
+  spec.configs = 1 + points.size();
+  spec.config_labels = {"cluster100"};
+  for (int nodes : points) {
+    spec.config_labels.push_back("hog" + std::to_string(nodes));
   }
-  std::printf("Dedicated cluster (100 cores): %.0f s\n\n", cluster.mean());
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec,
+      [&points](std::size_t config, std::uint64_t seed) -> exp::Metrics {
+        if (config == 0) {
+          const auto result = bench::RunClusterWorkload(seed);
+          return {{"response_s", result.response_time_s},
+                  {"preemptions", 0.0},
+                  {"reached", 1.0}};
+        }
+        const int nodes = points[config - 1];
+        const auto result = bench::RunHogWorkload(nodes, seed);
+        // An unreached deployment target leaves the response unmeasurable;
+        // NaN serializes as null and is excluded from the summaries.
+        const double response = result.reached_target
+                                    ? result.workload.response_time_s
+                                    : std::nan("");
+        return {{"response_s", response},
+                {"preemptions", static_cast<double>(result.preemptions)},
+                {"reached", result.reached_target ? 1.0 : 0.0}};
+      });
 
-  TextTable table({"max nodes", "run1 (s)", "run2 (s)", "run3 (s)",
-                   "mean (s)", "vs cluster", "preempt/run"});
+  const std::size_t n_seeds = spec.seeds.size();
+  const double cluster_mean = sweep.summaries[0][0].stats.mean();
+  std::printf("\nDedicated cluster (100 cores): %.0f s\n\n", cluster_mean);
+
+  TextTable table({"max nodes", "runs (s)", "mean (s)", "ci95", "vs cluster",
+                   "preempt/run"});
   double prev_mean = -1;
   int crossover = -1;
   int prev_point = -1;
-  for (int nodes : points) {
-    RunningStats stats;
-    RunningStats preempts;
-    std::vector<std::string> row = {std::to_string(nodes), "-", "-", "-"};
-    for (int i = 0; i < seeds; ++i) {
-      const auto result = bench::RunHogWorkload(nodes, bench::kSeeds[i]);
-      if (!result.reached_target) {
-        row[static_cast<std::size_t>(1 + i)] = "unreached";
-        continue;
-      }
-      stats.Add(result.workload.response_time_s);
-      preempts.Add(static_cast<double>(result.preemptions));
-      row[static_cast<std::size_t>(1 + i)] =
-          FormatDouble(result.workload.response_time_s, 0);
+  for (std::size_t c = 1; c < spec.configs; ++c) {
+    const int nodes = points[c - 1];
+    std::string per_seed;
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      const exp::RunRecord& run = sweep.run(c, s, n_seeds);
+      if (s) per_seed += " / ";
+      per_seed += std::isfinite(run.metrics[0].second)
+                      ? FormatDouble(run.metrics[0].second, 0)
+                      : "unreached";
     }
-    row.push_back(FormatDouble(stats.mean(), 0));
-    row.push_back(FormatDouble(stats.mean() / cluster.mean(), 2) + "x");
-    row.push_back(FormatDouble(preempts.mean(), 0));
-    table.AddRow(std::move(row));
-    if (crossover < 0 && prev_mean > cluster.mean() &&
-        stats.mean() <= cluster.mean()) {
+    const exp::MetricSummary& response = sweep.summaries[c][0];
+    const exp::MetricSummary& preempts = sweep.summaries[c][1];
+    table.AddRow({std::to_string(nodes), per_seed,
+                  FormatDouble(response.stats.mean(), 0),
+                  "+-" + FormatDouble(response.ci95_halfwidth, 0),
+                  FormatDouble(response.stats.mean() / cluster_mean, 2) + "x",
+                  FormatDouble(preempts.stats.mean(), 0)});
+    if (crossover < 0 && prev_mean > cluster_mean &&
+        response.stats.mean() <= cluster_mean &&
+        response.stats.count() > 0) {
       // Linear interpolation between the two sampling points.
       crossover = prev_point +
-                  static_cast<int>((prev_mean - cluster.mean()) /
-                                   (prev_mean - stats.mean()) *
+                  static_cast<int>((prev_mean - cluster_mean) /
+                                   (prev_mean - response.stats.mean()) *
                                    (nodes - prev_point));
     }
-    prev_mean = stats.mean();
+    prev_mean = response.stats.mean();
     prev_point = nodes;
   }
   table.Print(std::cout);

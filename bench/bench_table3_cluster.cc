@@ -1,15 +1,19 @@
 // Reproduces Table III — the dedicated MapReduce cluster — and measures
 // the baseline it anchors: the Facebook workload's response time on that
-// cluster (the dashed line of Fig. 4).
+// cluster (the dashed line of Fig. 4), as a multi-seed sweep with CI.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
 using namespace hogsim;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
+  if (opts.fast) opts.seeds.resize(1);
+
   std::printf("Table III: dedicated MapReduce cluster configuration\n\n");
   TextTable table({"Nodes", "Quantity", "Configuration"});
   table.AddRow({"Master node", "1", "2x 2.2GHz CPUs, 1 Gbps Ethernet"});
@@ -25,20 +29,32 @@ int main() {
               probe.slave_count(), probe.total_map_slots(),
               probe.total_reduce_slots());
 
-  std::printf("\nBaseline measurement (Facebook workload, 3 runs):\n\n");
+  std::printf("\nBaseline measurement (Facebook workload, %zu run(s)):\n\n",
+              opts.seeds.size());
+  exp::SweepSpec spec;
+  spec.name = "table3";
+  spec.configs = 1;
+  spec.config_labels = {"cluster100"};
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec, [](std::size_t, std::uint64_t seed) -> exp::Metrics {
+        const auto result = bench::RunClusterWorkload(seed);
+        return {{"response_s", result.response_time_s},
+                {"jobs_ok", static_cast<double>(result.succeeded)},
+                {"jobs_failed", static_cast<double>(result.failed)}};
+      });
+
   TextTable runs({"seed", "response time (s)", "jobs ok", "jobs failed"});
-  RunningStats stats;
-  const int n_runs = bench::FastMode() ? 1 : 3;
-  for (int i = 0; i < n_runs; ++i) {
-    const auto result = bench::RunClusterWorkload(bench::kSeeds[i]);
-    stats.Add(result.response_time_s);
-    runs.AddRow({std::to_string(bench::kSeeds[i]),
-                 FormatDouble(result.response_time_s, 0),
-                 std::to_string(result.succeeded),
-                 std::to_string(result.failed)});
+  for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+    const exp::RunRecord& run = sweep.run(0, s, spec.seeds.size());
+    runs.AddRow({std::to_string(run.seed),
+                 FormatDouble(run.metrics[0].second, 0),
+                 FormatDouble(run.metrics[1].second, 0),
+                 FormatDouble(run.metrics[2].second, 0)});
   }
   runs.Print(std::cout);
-  std::printf("\nCluster baseline: mean %.0f s (the Fig. 4 dashed line)\n",
-              stats.mean());
+  const exp::MetricSummary& response = sweep.summaries[0][0];
+  std::printf("\nCluster baseline: mean %.0f s +-%.0f (95%% CI; the Fig. 4 "
+              "dashed line)\n",
+              response.stats.mean(), response.ci95_halfwidth);
   return 0;
 }

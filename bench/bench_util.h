@@ -3,10 +3,8 @@
 // returns the paper's metrics.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-#include <optional>
 #include <string>
+#include <utility>
 
 #include "src/baseline/dedicated_cluster.h"
 #include "src/hog/hog_cluster.h"
@@ -84,12 +82,6 @@ inline workload::WorkloadResult RunClusterWorkload(std::uint64_t seed) {
   runner.PrepareInputs(schedule);
   runner.SubmitAll(schedule);
   return runner.Run(kRunDeadline);
-}
-
-/// FAST=1 in the environment trims sweeps for smoke-testing the benches.
-inline bool FastMode() {
-  const char* fast = std::getenv("HOGSIM_FAST");
-  return fast != nullptr && fast[0] == '1';
 }
 
 }  // namespace hogsim::bench

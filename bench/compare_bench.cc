@@ -1,0 +1,109 @@
+// compare_bench — diff two BENCH_*.json baselines and flag regressions.
+//
+//   compare_bench BASELINE.json CANDIDATE.json [--tol=REL] [--quiet]
+//
+// A metric regresses when the candidate mean moves beyond the combined 95%
+// CI of both files (plus --tol relative slack) in the metric's bad
+// direction. Exit 0: clean; exit 1: regression(s); exit 2: usage/parse
+// error. This is the one-command baseline check the BENCH convention
+// promises future perf PRs (see ROADMAP.md).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "src/exp/bench_compare.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+using namespace hogsim;
+
+namespace {
+
+const char* VerdictName(exp::BenchComparison::Verdict v) {
+  using Verdict = exp::BenchComparison::Verdict;
+  switch (v) {
+    case Verdict::kSame: return "same";
+    case Verdict::kImproved: return "IMPROVED";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kBaselineOnly: return "missing in candidate";
+    case Verdict::kCandidateOnly: return "new in candidate";
+  }
+  return "?";
+}
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: compare_bench BASELINE.json CANDIDATE.json "
+               "[--tol=REL] [--quiet]\n"
+               "  --tol=0.05  extra relative tolerance on top of the CIs\n"
+               "  --quiet     print only regressions\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, candidate_path;
+  double rel_tol = 0.0;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (StartsWith(arg, "--tol=")) {
+      char* end = nullptr;
+      rel_tol = std::strtod(std::string(arg.substr(6)).c_str(), &end);
+      if (end == nullptr || *end != '\0' || rel_tol < 0) Usage();
+    } else if (StartsWith(arg, "--")) {
+      Usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      Usage();
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) Usage();
+
+  exp::BenchFile baseline, candidate;
+  try {
+    baseline = exp::LoadBenchJson(baseline_path);
+    candidate = exp::LoadBenchJson(candidate_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "compare_bench: %s\n", e.what());
+    return 2;
+  }
+  if (baseline.name != candidate.name) {
+    std::fprintf(stderr,
+                 "compare_bench: warning: comparing '%s' against '%s'\n",
+                 baseline.name.c_str(), candidate.name.c_str());
+  }
+
+  const auto comparisons = exp::CompareBench(baseline, candidate, rel_tol);
+  TextTable table({"config", "metric", "baseline", "candidate", "delta",
+                   "threshold", "verdict"});
+  std::size_t regressions = 0;
+  for (const auto& c : comparisons) {
+    const bool regressed =
+        c.verdict == exp::BenchComparison::Verdict::kRegressed;
+    if (regressed) ++regressions;
+    if (quiet && !regressed) continue;
+    table.AddRow({c.config, c.metric, FormatDouble(c.baseline_mean, 4),
+                  FormatDouble(c.candidate_mean, 4),
+                  FormatDouble(c.delta, 4), FormatDouble(c.threshold, 4),
+                  VerdictName(c.verdict)});
+  }
+  std::printf("compare_bench: %s vs %s (%zu metrics, tol %.3g)\n\n",
+              baseline_path.c_str(), candidate_path.c_str(),
+              comparisons.size(), rel_tol);
+  if (table.rows() > 0) table.Print(std::cout);
+  if (regressions > 0) {
+    std::printf("\n%zu regression(s) beyond the 95%% CI.\n", regressions);
+    return 1;
+  }
+  std::printf("\nNo regressions beyond the 95%% CI.\n");
+  return 0;
+}

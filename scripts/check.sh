@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build both CMake presets (default and
+# ASan/UBSan) and run the tier1-labelled tests under each. This is what a
+# PR must keep green; see ROADMAP.md ("tier-1 tests").
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   default preset only (skip the sanitizer build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+run_preset() {
+  local preset="$1" dir="$2"
+  echo "== [$preset] configure =="
+  cmake --preset "$preset"
+  echo "== [$preset] build =="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "== [$preset] tier-1 tests =="
+  ctest --test-dir "$dir" -L tier1 --output-on-failure -j "$jobs"
+}
+
+run_preset default build
+if [ "$fast" -eq 0 ]; then
+  run_preset sanitize build-sanitize
+fi
+
+echo "check.sh: all green"

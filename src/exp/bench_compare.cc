@@ -1,0 +1,334 @@
+#include "src/exp/bench_compare.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace hogsim::exp {
+
+namespace {
+
+// Minimal recursive-descent JSON reader for the BENCH_*.json subset.
+// Values are doubles (numbers / null), strings, arrays, or objects; that
+// is everything ToBenchJson ever emits, and enough to stay robust against
+// formatting/field-order changes.
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const char* what) const {
+    throw std::runtime_error("BENCH json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail("unexpected character");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = ParseString();
+      return v;
+    }
+    if (Consume("null")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kNumber;
+      v.number = std::numeric_limits<double>::quiet_NaN();
+      return v;
+    }
+    if (Consume("true") || Consume("false")) Fail("unexpected boolean");
+    return ParseNumber();
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) Fail("short \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
+                             nullptr, 16));
+            pos_ += 4;
+            // Control characters only (that is all the writer escapes).
+            out += static_cast<char>(code & 0x7f);
+            break;
+          }
+          default: Fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    Expect('"');
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    char* end = nullptr;
+    const std::string token(text_.substr(start, pos_ - start));
+    v.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') Fail("malformed number");
+    return v;
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(ParseValue());
+      const char c = Peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') Fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = ParseString();
+      Expect(':');
+      v.object.emplace_back(std::move(key), ParseValue());
+      const char c = Peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+double NumberField(const JsonValue& object, std::string_view key) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    throw std::runtime_error("BENCH json: missing numeric field '" +
+                             std::string(key) + "'");
+  }
+  return v->number;
+}
+
+std::string StringField(const JsonValue& object, std::string_view key) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error("BENCH json: missing string field '" +
+                             std::string(key) + "'");
+  }
+  return v->string;
+}
+
+}  // namespace
+
+BenchFile ParseBenchJson(std::string_view json) {
+  const JsonValue root = JsonParser(json).Parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("BENCH json: top level is not an object");
+  }
+  BenchFile file;
+  file.name = StringField(root, "name");
+  const JsonValue* seeds = root.Find("seeds");
+  if (seeds == nullptr || seeds->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("BENCH json: missing 'seeds' array");
+  }
+  for (const JsonValue& s : seeds->array) {
+    file.seeds.push_back(static_cast<std::uint64_t>(s.number));
+  }
+  const JsonValue* summaries = root.Find("summaries");
+  if (summaries == nullptr || summaries->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("BENCH json: missing 'summaries' array");
+  }
+  for (const JsonValue& row : summaries->array) {
+    if (row.kind != JsonValue::Kind::kObject) {
+      throw std::runtime_error("BENCH json: summary row is not an object");
+    }
+    BenchMetricRow out;
+    out.config = StringField(row, "config");
+    out.metric = StringField(row, "metric");
+    out.count = static_cast<std::size_t>(NumberField(row, "count"));
+    out.mean = NumberField(row, "mean");
+    out.stddev = NumberField(row, "stddev");
+    out.min = NumberField(row, "min");
+    out.max = NumberField(row, "max");
+    out.p50 = NumberField(row, "p50");
+    out.p95 = NumberField(row, "p95");
+    out.p99 = NumberField(row, "p99");
+    out.ci95 = NumberField(row, "ci95");
+    file.summaries.push_back(std::move(out));
+  }
+  return file;
+}
+
+BenchFile LoadBenchJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseBenchJson(buf.str());
+}
+
+bool MetricHigherIsBetter(std::string_view metric) {
+  static constexpr std::string_view kHigherBetter[] = {
+      "per_sec",   "throughput", "ops",       "_ok",     "succeeded",
+      "local",     "reached",    "mean_nodes"};
+  for (std::string_view token : kHigherBetter) {
+    if (metric.find(token) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+std::vector<BenchComparison> CompareBench(const BenchFile& baseline,
+                                          const BenchFile& candidate,
+                                          double rel_tol) {
+  using Verdict = BenchComparison::Verdict;
+  std::vector<BenchComparison> out;
+  std::map<std::pair<std::string, std::string>, const BenchMetricRow*> cand;
+  for (const BenchMetricRow& row : candidate.summaries) {
+    cand[{row.config, row.metric}] = &row;
+  }
+  for (const BenchMetricRow& base : baseline.summaries) {
+    BenchComparison cmp;
+    cmp.config = base.config;
+    cmp.metric = base.metric;
+    cmp.baseline_mean = base.mean;
+    const auto it = cand.find({base.config, base.metric});
+    if (it == cand.end()) {
+      cmp.verdict = Verdict::kBaselineOnly;
+      out.push_back(std::move(cmp));
+      continue;
+    }
+    const BenchMetricRow& next = *it->second;
+    cand.erase(it);
+    cmp.candidate_mean = next.mean;
+    const bool base_finite = std::isfinite(base.mean);
+    const bool next_finite = std::isfinite(next.mean);
+    if (!base_finite || !next_finite) {
+      // A metric that *became* unmeasurable regresses; one that became
+      // measurable improves; both-NaN compares equal.
+      cmp.verdict = base_finite == next_finite ? Verdict::kSame
+                    : base_finite              ? Verdict::kRegressed
+                                               : Verdict::kImproved;
+      out.push_back(std::move(cmp));
+      continue;
+    }
+    cmp.delta = next.mean - base.mean;
+    cmp.threshold = base.ci95 + next.ci95 + rel_tol * std::fabs(base.mean);
+    if (std::fabs(cmp.delta) <= cmp.threshold) {
+      cmp.verdict = Verdict::kSame;
+    } else {
+      const bool worse = MetricHigherIsBetter(base.metric) ? cmp.delta < 0
+                                                           : cmp.delta > 0;
+      cmp.verdict = worse ? Verdict::kRegressed : Verdict::kImproved;
+    }
+    out.push_back(std::move(cmp));
+  }
+  for (const auto& [key, row] : cand) {
+    BenchComparison cmp;
+    cmp.config = key.first;
+    cmp.metric = key.second;
+    cmp.candidate_mean = row->mean;
+    cmp.verdict = Verdict::kCandidateOnly;
+    out.push_back(std::move(cmp));
+  }
+  return out;
+}
+
+bool HasRegression(const std::vector<BenchComparison>& comparisons) {
+  for (const BenchComparison& c : comparisons) {
+    if (c.verdict == BenchComparison::Verdict::kRegressed) return true;
+  }
+  return false;
+}
+
+}  // namespace hogsim::exp

@@ -1,0 +1,81 @@
+// Baseline comparison for the BENCH_*.json convention.
+//
+// Every sweep-backed bench writes per-config metric summaries with 95%
+// confidence intervals; this module parses two such files and flags metric
+// regressions that exceed the combined CI — giving every perf PR a
+// one-command check against the previous PR's committed baseline:
+//
+//   compare_bench BENCH_core.json build/BENCH_core.json
+//
+// Exit status of the tool: 0 = no regression, 1 = regression(s), 2 = bad
+// usage or unparsable input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hogsim::exp {
+
+/// One "summaries" row of a BENCH_*.json file.
+struct BenchMetricRow {
+  std::string config;
+  std::string metric;
+  std::size_t count = 0;
+  double mean = 0, stddev = 0, min = 0, max = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  double ci95 = 0;
+};
+
+struct BenchFile {
+  std::string name;
+  std::vector<std::uint64_t> seeds;
+  std::vector<BenchMetricRow> summaries;
+};
+
+/// Parses the subset of JSON that ToBenchJson emits (objects, arrays,
+/// strings, numbers, null). Throws std::runtime_error on malformed input.
+/// `null` metric values (non-finite doubles) parse as NaN.
+BenchFile ParseBenchJson(std::string_view json);
+
+/// Reads and parses `path`. Throws std::runtime_error on I/O or parse
+/// failure.
+BenchFile LoadBenchJson(const std::string& path);
+
+/// Direction heuristic: throughput-style metrics (ops_per_sec, *_ok,
+/// succeeded, local fractions, reached targets) regress downward; every
+/// other metric (wall_s, response_s, failures, missing blocks, traffic)
+/// regresses upward.
+bool MetricHigherIsBetter(std::string_view metric);
+
+struct BenchComparison {
+  enum class Verdict {
+    kSame,           ///< |delta| within combined CI + tolerance
+    kImproved,       ///< significant change in the good direction
+    kRegressed,      ///< significant change in the bad direction
+    kBaselineOnly,   ///< metric disappeared from the candidate
+    kCandidateOnly,  ///< metric is new in the candidate
+  };
+  std::string config;
+  std::string metric;
+  double baseline_mean = 0;
+  double candidate_mean = 0;
+  double delta = 0;      ///< candidate - baseline
+  double threshold = 0;  ///< ci95(base) + ci95(cand) + rel_tol * |base|
+  Verdict verdict = Verdict::kSame;
+};
+
+/// Compares candidate against baseline row by row (keyed on config +
+/// metric). A change is significant when |delta| exceeds the sum of both
+/// 95% CIs plus `rel_tol * |baseline mean|`; significant changes in the
+/// metric's bad direction are regressions. Rows whose means are both
+/// non-finite compare equal; a mean that *became* non-finite regresses.
+std::vector<BenchComparison> CompareBench(const BenchFile& baseline,
+                                          const BenchFile& candidate,
+                                          double rel_tol = 0.0);
+
+/// True if any comparison is a regression.
+bool HasRegression(const std::vector<BenchComparison>& comparisons);
+
+}  // namespace hogsim::exp

@@ -1,0 +1,142 @@
+#include "src/exp/bench_main.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "src/util/strings.h"
+
+namespace hogsim::exp {
+
+namespace {
+
+[[noreturn]] void Usage(const char* prog, int status) {
+  std::fprintf(
+      status == 0 ? stdout : stderr,
+      "usage: %s [--seeds=LIST|COUNT] [--threads=N] [--out=PATH] [--fast]\n"
+      "  --seeds=11,23,47  explicit seed list\n"
+      "  --seeds=5         first 5 seeds of the default progression\n"
+      "  --threads=N       sweep pool width (0 = hardware concurrency)\n"
+      "  --out=PATH        BENCH_*.json output path (default: cwd)\n"
+      "  --fast            trimmed smoke run (HOGSIM_FAST=1 equivalent)\n",
+      prog);
+  std::exit(status);
+}
+
+bool ParseUint(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> DefaultSeeds(std::size_t count) {
+  std::vector<std::uint64_t> seeds = {11, 23, 47};
+  if (count < seeds.size()) {
+    seeds.resize(count);
+    return seeds;
+  }
+  while (seeds.size() < count) seeds.push_back(seeds.back() * 2 + 1);
+  return seeds;
+}
+
+BenchOptions ParseBenchOptions(int argc, char* const* argv,
+                               BenchOptions defaults) {
+  BenchOptions opts = std::move(defaults);
+  const char* fast_env = std::getenv("HOGSIM_FAST");
+  if (fast_env != nullptr && fast_env[0] == '1') opts.fast = true;
+
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") Usage(prog, 0);
+    if (arg == "--fast") {
+      opts.fast = true;
+      continue;
+    }
+    const auto eat = [&](std::string_view flag,
+                         std::string_view& value) -> bool {
+      if (!StartsWith(arg, flag)) return false;
+      value = arg.substr(flag.size());
+      return true;
+    };
+    std::string_view value;
+    if (eat("--seeds=", value)) {
+      std::vector<std::uint64_t> seeds;
+      for (const std::string& field : Split(value, ',')) {
+        std::uint64_t seed = 0;
+        if (!ParseUint(Trim(field), seed)) {
+          std::fprintf(stderr, "%s: bad --seeds value '%s'\n", prog,
+                       std::string(value).c_str());
+          Usage(prog, 2);
+        }
+        seeds.push_back(seed);
+      }
+      if (seeds.empty()) Usage(prog, 2);
+      // A single bare number is a count, not a seed: "--seeds=5" runs the
+      // default progression's first five seeds.
+      if (seeds.size() == 1 && value.find(',') == std::string_view::npos &&
+          seeds[0] <= 64) {
+        opts.seeds = DefaultSeeds(static_cast<std::size_t>(seeds[0]));
+      } else {
+        opts.seeds = std::move(seeds);
+      }
+      if (opts.seeds.empty()) {
+        std::fprintf(stderr, "%s: --seeds needs at least one seed\n", prog);
+        Usage(prog, 2);
+      }
+      continue;
+    }
+    if (eat("--threads=", value)) {
+      std::uint64_t threads = 0;
+      if (!ParseUint(value, threads) || threads > 1024) {
+        std::fprintf(stderr, "%s: bad --threads value '%s'\n", prog,
+                     std::string(value).c_str());
+        Usage(prog, 2);
+      }
+      opts.threads = static_cast<unsigned>(threads);
+      continue;
+    }
+    if (eat("--out=", value)) {
+      if (value.empty()) Usage(prog, 2);
+      opts.out = std::string(value);
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s'\n", prog,
+                 std::string(arg).c_str());
+    Usage(prog, 2);
+  }
+  return opts;
+}
+
+SweepResult RunBenchSweep(const BenchOptions& opts, SweepSpec& spec,
+                          const RunFn& fn) {
+  spec.seeds = opts.seeds;
+  spec.threads = opts.threads;
+  const SweepResult result = RunSweep(spec, fn);
+  const std::string path =
+      opts.out.empty() ? "BENCH_" + spec.name + ".json" : opts.out;
+  WriteBenchJson(path, spec, result);
+  std::printf("\n%s: %zu runs (%zu configs x %zu seeds)\n", path.c_str(),
+              result.runs.size(), spec.configs, spec.seeds.size());
+  for (std::size_t c = 0; c < result.summaries.size(); ++c) {
+    const std::string label = c < spec.config_labels.size()
+                                  ? spec.config_labels[c]
+                                  : "config" + std::to_string(c);
+    for (const MetricSummary& m : result.summaries[c]) {
+      std::printf("  %-24s %-20s mean %.6g +-%.3g  [p50 %.6g p95 %.6g p99 "
+                  "%.6g]\n",
+                  label.c_str(), m.name.c_str(), m.stats.mean(),
+                  m.ci95_halfwidth, m.p50, m.p95, m.p99);
+    }
+  }
+  return result;
+}
+
+}  // namespace hogsim::exp

@@ -1,0 +1,55 @@
+// Uniform command-line surface for the paper benches.
+//
+// Every harness bench (tables, figures, ablations, §IV.D experiences)
+// accepts the same flags and produces the same artifacts:
+//
+//   --seeds=11,23,47   explicit seed list, or
+//   --seeds=5          a count: the default 11/23/47 progression, extended
+//                      deterministically (s[i] = 2*s[i-1] + 1)
+//   --threads=N        sweep pool width (0 = hardware concurrency)
+//   --out=PATH         where to write BENCH_<name>.json (default: cwd)
+//   --fast             trim the run for smoke testing (HOGSIM_FAST=1 too)
+//
+// RunBenchSweep applies the options to a SweepSpec, runs the sweep, writes
+// the BENCH_*.json baseline, and prints the per-config summaries — so a
+// bench's main() is just "parse, describe configs, run, print its paper
+// table". This replaces the per-bench argv/seed/FAST handling that each
+// bench used to carry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep.h"
+
+namespace hogsim::exp {
+
+struct BenchOptions {
+  /// Seeds for the sweep. Default: the paper's "3 runs at each sampling
+  /// point" (11/23/47).
+  std::vector<std::uint64_t> seeds = {11, 23, 47};
+  unsigned threads = 0;  ///< Pool width; 0 = hardware concurrency.
+  std::string out;       ///< Output path; "" = "BENCH_<name>.json" in cwd.
+  bool fast = false;     ///< Smoke-test mode (--fast or HOGSIM_FAST=1).
+};
+
+/// The default seed progression: 11, 23, 47, then s[i] = 2*s[i-1] + 1
+/// (95, 191, ...). Deterministic, so "--seeds=8" means the same eight
+/// seeds on every machine.
+std::vector<std::uint64_t> DefaultSeeds(std::size_t count);
+
+/// Parses the uniform bench flags. Unknown arguments print usage and exit
+/// with status 2; --help prints usage and exits 0. HOGSIM_FAST=1 in the
+/// environment sets `fast` exactly like --fast.
+BenchOptions ParseBenchOptions(int argc, char* const* argv,
+                               BenchOptions defaults = {});
+
+/// Applies `opts` to `spec` (seeds and threads — visible to the caller
+/// afterwards, e.g. for per-seed tables), runs the sweep, writes the
+/// BENCH_<spec.name>.json baseline (or opts.out), and prints one summary
+/// line per (config, metric): mean ± ci95 and p50/p95/p99.
+SweepResult RunBenchSweep(const BenchOptions& opts, SweepSpec& spec,
+                          const RunFn& fn);
+
+}  // namespace hogsim::exp

@@ -32,6 +32,11 @@ std::vector<std::vector<MetricSummary>> Aggregate(const SweepSpec& spec,
         const Metrics& metrics = runs[c * n + s].metrics;
         // Run functions must emit a fixed metric layout per config.
         if (m >= metrics.size() || metrics[m].first != summary.name) continue;
+        // Non-finite values mark runs where the metric was unmeasurable
+        // (e.g. a deployment that never reached its node target); they
+        // serialize as null per-run and are excluded from the summary so
+        // they cannot poison the mean or the percentile sort.
+        if (!std::isfinite(metrics[m].second)) continue;
         values.push_back(metrics[m].second);
         summary.stats.Add(metrics[m].second);
       }

@@ -53,7 +53,9 @@ struct RunRecord {
   Metrics metrics;
 };
 
-/// Per-config, per-metric summary across seeds.
+/// Per-config, per-metric summary across seeds. Non-finite per-run values
+/// (a metric that was unmeasurable for that run) are excluded, so
+/// stats.count() may be smaller than the seed count.
 struct MetricSummary {
   std::string name;
   RunningStats stats;

@@ -1,0 +1,184 @@
+// Unit tests for the BENCH_*.json parser and the CI-overlap regression
+// check behind the compare_bench tool: round-tripping ToBenchJson output,
+// the significance threshold, metric direction, and malformed input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/exp/bench_compare.h"
+#include "src/exp/sweep.h"
+
+namespace hogsim::exp {
+namespace {
+
+using Verdict = BenchComparison::Verdict;
+
+BenchMetricRow Row(std::string config, std::string metric, double mean,
+                   double ci95) {
+  BenchMetricRow row;
+  row.config = std::move(config);
+  row.metric = std::move(metric);
+  row.count = 3;
+  row.mean = mean;
+  row.ci95 = ci95;
+  return row;
+}
+
+BenchFile File(std::vector<BenchMetricRow> rows) {
+  BenchFile file;
+  file.name = "test";
+  file.seeds = {11, 23, 47};
+  file.summaries = std::move(rows);
+  return file;
+}
+
+TEST(BenchCompare, RoundTripsToBenchJsonOutput) {
+  SweepSpec spec;
+  spec.name = "roundtrip";
+  spec.seeds = {11, 23, 47};
+  spec.configs = 2;
+  spec.config_labels = {"a", "b"};
+  spec.threads = 1;
+  const auto result =
+      RunSweep(spec, [](std::size_t c, std::uint64_t seed) -> Metrics {
+        return {{"response_s", static_cast<double>(seed * (c + 1))},
+                {"jobs_ok", 88.0}};
+      });
+
+  const BenchFile parsed = ParseBenchJson(ToBenchJson(spec, result));
+  EXPECT_EQ(parsed.name, "roundtrip");
+  EXPECT_EQ(parsed.seeds, (std::vector<std::uint64_t>{11, 23, 47}));
+  ASSERT_EQ(parsed.summaries.size(), 4u);  // 2 configs x 2 metrics
+  const BenchMetricRow& row = parsed.summaries[0];
+  EXPECT_EQ(row.config, "a");
+  EXPECT_EQ(row.metric, "response_s");
+  EXPECT_EQ(row.count, 3u);
+  const MetricSummary& expected = result.summaries[0][0];
+  EXPECT_DOUBLE_EQ(row.mean, expected.stats.mean());
+  EXPECT_DOUBLE_EQ(row.stddev, expected.stats.stddev());
+  EXPECT_DOUBLE_EQ(row.min, expected.stats.min());
+  EXPECT_DOUBLE_EQ(row.max, expected.stats.max());
+  EXPECT_DOUBLE_EQ(row.p50, expected.p50);
+  EXPECT_DOUBLE_EQ(row.p95, expected.p95);
+  EXPECT_DOUBLE_EQ(row.p99, expected.p99);
+  EXPECT_DOUBLE_EQ(row.ci95, expected.ci95_halfwidth);
+}
+
+TEST(BenchCompare, NullMetricValueParsesAsNaN) {
+  const BenchFile parsed = ParseBenchJson(
+      "{\"name\": \"n\", \"configs\": 1, \"seeds\": [1],\n"
+      "  \"summaries\": [{\"config\": \"c\", \"metric\": \"m\", "
+      "\"count\": 0, \"mean\": null, \"stddev\": 0, \"min\": 0, "
+      "\"max\": 0, \"p50\": 0, \"p95\": 0, \"p99\": 0, \"ci95\": 0}],\n"
+      "  \"runs\": []}");
+  ASSERT_EQ(parsed.summaries.size(), 1u);
+  EXPECT_TRUE(std::isnan(parsed.summaries[0].mean));
+}
+
+TEST(BenchCompare, SelfCompareIsClean) {
+  const BenchFile file = File({Row("cfg", "response_s", 3400.0, 120.0),
+                               Row("cfg", "jobs_ok", 88.0, 0.0)});
+  const auto comparisons = CompareBench(file, file);
+  ASSERT_EQ(comparisons.size(), 2u);
+  for (const BenchComparison& c : comparisons) {
+    EXPECT_EQ(c.verdict, Verdict::kSame);
+    EXPECT_DOUBLE_EQ(c.delta, 0.0);
+  }
+  EXPECT_FALSE(HasRegression(comparisons));
+}
+
+TEST(BenchCompare, ShiftBeyondCombinedCiRegresses) {
+  const BenchFile baseline = File({Row("cfg", "response_s", 3400.0, 100.0)});
+  // Combined CI = 100 + 50 = 150; the +500 shift is well past it.
+  const BenchFile candidate = File({Row("cfg", "response_s", 3900.0, 50.0)});
+  const auto comparisons = CompareBench(baseline, candidate);
+  ASSERT_EQ(comparisons.size(), 1u);
+  EXPECT_EQ(comparisons[0].verdict, Verdict::kRegressed);
+  EXPECT_DOUBLE_EQ(comparisons[0].delta, 500.0);
+  EXPECT_DOUBLE_EQ(comparisons[0].threshold, 150.0);
+  EXPECT_TRUE(HasRegression(comparisons));
+}
+
+TEST(BenchCompare, ShiftWithinCombinedCiIsSame) {
+  const BenchFile baseline = File({Row("cfg", "response_s", 3400.0, 100.0)});
+  const BenchFile candidate = File({Row("cfg", "response_s", 3520.0, 50.0)});
+  const auto comparisons = CompareBench(baseline, candidate);
+  ASSERT_EQ(comparisons.size(), 1u);
+  EXPECT_EQ(comparisons[0].verdict, Verdict::kSame);
+  EXPECT_FALSE(HasRegression(comparisons));
+}
+
+TEST(BenchCompare, DirectionDependsOnMetricName) {
+  // response_s: lower is better, so a drop is an improvement.
+  const auto down = CompareBench(File({Row("cfg", "response_s", 3400, 10)}),
+                                 File({Row("cfg", "response_s", 3000, 10)}));
+  EXPECT_EQ(down[0].verdict, Verdict::kImproved);
+  // jobs_ok: higher is better, so the same-shaped drop regresses.
+  const auto ok = CompareBench(File({Row("cfg", "jobs_ok", 88, 0)}),
+                               File({Row("cfg", "jobs_ok", 80, 0)}));
+  EXPECT_EQ(ok[0].verdict, Verdict::kRegressed);
+}
+
+TEST(BenchCompare, RelativeToleranceWidensThreshold) {
+  const BenchFile baseline = File({Row("cfg", "response_s", 1000.0, 0.0)});
+  const BenchFile candidate = File({Row("cfg", "response_s", 1040.0, 0.0)});
+  EXPECT_TRUE(HasRegression(CompareBench(baseline, candidate)));
+  // 5% tolerance absorbs the 4% shift.
+  EXPECT_FALSE(HasRegression(CompareBench(baseline, candidate, 0.05)));
+}
+
+TEST(BenchCompare, AddedAndRemovedRowsAreInformational) {
+  const BenchFile baseline = File({Row("cfg", "response_s", 3400, 10),
+                                   Row("cfg", "old_metric", 1, 0)});
+  const BenchFile candidate = File({Row("cfg", "response_s", 3400, 10),
+                                    Row("cfg", "new_metric", 2, 0)});
+  const auto comparisons = CompareBench(baseline, candidate);
+  ASSERT_EQ(comparisons.size(), 3u);
+  bool saw_baseline_only = false, saw_candidate_only = false;
+  for (const BenchComparison& c : comparisons) {
+    saw_baseline_only |= c.verdict == Verdict::kBaselineOnly;
+    saw_candidate_only |= c.verdict == Verdict::kCandidateOnly;
+  }
+  EXPECT_TRUE(saw_baseline_only);
+  EXPECT_TRUE(saw_candidate_only);
+  EXPECT_FALSE(HasRegression(comparisons));
+}
+
+TEST(BenchCompare, BecomingUnmeasurableRegresses) {
+  const double nan = std::nan("");
+  const BenchFile baseline = File({Row("cfg", "response_s", 3400, 10)});
+  const BenchFile candidate = File({Row("cfg", "response_s", nan, 0)});
+  EXPECT_EQ(CompareBench(baseline, candidate)[0].verdict, Verdict::kRegressed);
+  // Both unmeasurable: nothing changed.
+  const BenchFile both = File({Row("cfg", "response_s", nan, 0)});
+  EXPECT_EQ(CompareBench(both, both)[0].verdict, Verdict::kSame);
+}
+
+TEST(BenchCompare, MalformedInputThrows) {
+  EXPECT_THROW(ParseBenchJson(""), std::runtime_error);
+  EXPECT_THROW(ParseBenchJson("{"), std::runtime_error);
+  EXPECT_THROW(ParseBenchJson("[]"), std::runtime_error);  // not an object
+  EXPECT_THROW(ParseBenchJson("{\"name\": }"), std::runtime_error);
+  EXPECT_THROW(ParseBenchJson("{\"name\": \"x\"} trailing"),
+               std::runtime_error);
+  EXPECT_THROW(LoadBenchJson("/nonexistent/BENCH_nope.json"),
+               std::runtime_error);
+}
+
+TEST(BenchCompare, MetricDirectionHeuristic) {
+  EXPECT_TRUE(MetricHigherIsBetter("events_per_sec"));
+  EXPECT_TRUE(MetricHigherIsBetter("jobs_ok"));
+  EXPECT_TRUE(MetricHigherIsBetter("succeeded"));
+  EXPECT_TRUE(MetricHigherIsBetter("local_frac"));
+  EXPECT_TRUE(MetricHigherIsBetter("reached"));
+  EXPECT_FALSE(MetricHigherIsBetter("response_s"));
+  EXPECT_FALSE(MetricHigherIsBetter("failed_jobs"));
+  EXPECT_FALSE(MetricHigherIsBetter("missing_blocks"));
+  EXPECT_FALSE(MetricHigherIsBetter("wall_s"));
+}
+
+}  // namespace
+}  // namespace hogsim::exp

@@ -3,6 +3,7 @@
 // serialization.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -10,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "src/exp/bench_main.h"
 #include "src/exp/sweep.h"
 #include "src/sim/simulation.h"
 #include "src/util/rng.h"
+#include "src/util/stats.h"
 
 namespace hogsim::exp {
 namespace {
@@ -131,6 +134,151 @@ TEST(Sweep, WritesBenchJson) {
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
   EXPECT_NE(json.find("\"ci95\""), std::string::npos);
   EXPECT_EQ(json, ToBenchJson(spec, result));
+}
+
+// The thread count is a pure performance knob: any pool width must produce
+// the same artifact, byte for byte. (PR 1's harness promised this for
+// 1-vs-4; the regression wall pins the whole matrix, including widths that
+// do not divide the task count evenly.)
+TEST(Sweep, ByteIdenticalAcrossThreadCounts) {
+  SweepSpec spec;
+  spec.name = "thread_matrix";
+  spec.seeds = {3, 1, 4, 1, 5, 9, 2, 6};  // duplicates on purpose
+  spec.configs = 3;
+
+  spec.threads = 1;
+  const std::string reference = ToBenchJson(spec, RunSweep(spec, SimWorkload));
+  for (unsigned threads : {2u, 3u, 8u, 64u}) {
+    spec.threads = threads;
+    EXPECT_EQ(reference, ToBenchJson(spec, RunSweep(spec, SimWorkload)))
+        << "threads=" << threads;
+  }
+}
+
+// Hand-computed percentile fixtures (linear interpolation between order
+// statistics, pos = q * (n - 1)).
+TEST(Stats, PercentileSortedHandComputedFixtures) {
+  const std::vector<double> ten = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_NEAR(PercentileSorted(ten, 0.50), 5.5, 1e-12);
+  EXPECT_NEAR(PercentileSorted(ten, 0.95), 9.55, 1e-12);
+  EXPECT_NEAR(PercentileSorted(ten, 0.99), 9.91, 1e-12);
+  EXPECT_DOUBLE_EQ(PercentileSorted(ten, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(ten, 1.0), 10.0);
+  // q outside [0, 1] clamps rather than indexing out of range.
+  EXPECT_DOUBLE_EQ(PercentileSorted(ten, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(ten, 1.5), 10.0);
+
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 0.5), 0.0);
+}
+
+// The 95% CI half-width is 1.96 * sample stddev / sqrt(n). For {1,2,3,4}:
+// mean 2.5, sample variance 5/3.
+TEST(Sweep, Ci95MatchesHandComputedFixture) {
+  SweepSpec spec;
+  spec.seeds = {1, 2, 3, 4};
+  spec.configs = 1;
+  spec.threads = 1;
+  const auto result =
+      RunSweep(spec, [](std::size_t, std::uint64_t seed) -> Metrics {
+        return {{"v", static_cast<double>(seed)}};
+      });
+  const MetricSummary& s = result.summaries[0][0];
+  EXPECT_DOUBLE_EQ(s.stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.stats.variance(), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.stats.stddev(), std::sqrt(5.0 / 3.0));
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth, 1.96 * std::sqrt(5.0 / 3.0) / 2.0);
+}
+
+// A metric that is unmeasurable for one run (NaN — e.g. a fig4 deployment
+// that never reached its node target) is excluded from the summary instead
+// of poisoning the mean and the percentile sort, and serializes as null.
+TEST(Sweep, NonFiniteRunValuesAreExcludedFromSummaries) {
+  SweepSpec spec;
+  spec.name = "nan";
+  spec.seeds = {1, 2, 3, 4};
+  spec.configs = 1;
+  spec.threads = 1;
+  const auto result =
+      RunSweep(spec, [](std::size_t, std::uint64_t seed) -> Metrics {
+        return {{"v", seed == 3 ? std::nan("") : static_cast<double>(seed)}};
+      });
+  const MetricSummary& s = result.summaries[0][0];
+  EXPECT_EQ(s.stats.count(), 3u);  // 1, 2, 4
+  EXPECT_DOUBLE_EQ(s.stats.mean(), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.0);
+  const std::string json = ToBenchJson(spec, result);
+  EXPECT_NE(json.find("\"v\": null"), std::string::npos);
+}
+
+// Golden-output test: integral values render exactly, so the whole
+// artifact can be pinned byte for byte. Guards the BENCH_*.json format
+// against accidental drift (compare_bench and external tooling parse it).
+TEST(Sweep, GoldenBenchJson) {
+  SweepSpec spec;
+  spec.name = "golden";
+  spec.seeds = {5};
+  spec.configs = 1;
+  spec.config_labels = {"cfg"};
+  spec.threads = 1;
+  const auto result =
+      RunSweep(spec, [](std::size_t, std::uint64_t) -> Metrics {
+        return {{"v", 7.0}, {"u", std::nan("")}};
+      });
+  const std::string expected =
+      "{\n"
+      "  \"name\": \"golden\",\n"
+      "  \"configs\": 1,\n"
+      "  \"seeds\": [5],\n"
+      "  \"summaries\": [\n"
+      "    {\"config\": \"cfg\", \"metric\": \"v\", \"count\": 1, "
+      "\"mean\": 7, \"stddev\": 0, \"min\": 7, \"max\": 7, \"p50\": 7, "
+      "\"p95\": 7, \"p99\": 7, \"ci95\": 0},\n"
+      "    {\"config\": \"cfg\", \"metric\": \"u\", \"count\": 0, "
+      "\"mean\": 0, \"stddev\": 0, \"min\": 0, \"max\": 0, \"p50\": 0, "
+      "\"p95\": 0, \"p99\": 0, \"ci95\": 0}\n"
+      "  ],\n"
+      "  \"runs\": [\n"
+      "    {\"config\": \"cfg\", \"seed\": 5, \"metrics\": {\"v\": 7, "
+      "\"u\": null}}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(ToBenchJson(spec, result), expected);
+}
+
+TEST(BenchMain, DefaultSeedsProgression) {
+  EXPECT_EQ(DefaultSeeds(0), (std::vector<std::uint64_t>{}));
+  EXPECT_EQ(DefaultSeeds(2), (std::vector<std::uint64_t>{11, 23}));
+  EXPECT_EQ(DefaultSeeds(3), (std::vector<std::uint64_t>{11, 23, 47}));
+  // Past the paper's trio: s[i] = 2 * s[i-1] + 1.
+  EXPECT_EQ(DefaultSeeds(5),
+            (std::vector<std::uint64_t>{11, 23, 47, 95, 191}));
+}
+
+TEST(BenchMain, ParseBenchOptionsFlags) {
+  const char* argv[] = {"bench", "--seeds=2,4,8", "--threads=3",
+                        "--out=/tmp/x.json", "--fast"};
+  const BenchOptions opts =
+      ParseBenchOptions(5, const_cast<char* const*>(argv));
+  EXPECT_EQ(opts.seeds, (std::vector<std::uint64_t>{2, 4, 8}));
+  EXPECT_EQ(opts.threads, 3u);
+  EXPECT_EQ(opts.out, "/tmp/x.json");
+  EXPECT_TRUE(opts.fast);
+}
+
+TEST(BenchMain, SingleBareSeedsNumberIsACount) {
+  const char* argv[] = {"bench", "--seeds=4"};
+  const BenchOptions opts =
+      ParseBenchOptions(2, const_cast<char* const*>(argv));
+  EXPECT_EQ(opts.seeds, (std::vector<std::uint64_t>{11, 23, 47, 95}));
+
+  // ...unless it is too large to plausibly be a count.
+  const char* argv2[] = {"bench", "--seeds=1234"};
+  const BenchOptions opts2 =
+      ParseBenchOptions(2, const_cast<char* const*>(argv2));
+  EXPECT_EQ(opts2.seeds, (std::vector<std::uint64_t>{1234}));
 }
 
 TEST(Sweep, PropagatesWorkerExceptions) {

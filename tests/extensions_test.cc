@@ -2,6 +2,7 @@
 // history, timed uploads, decommissioning, and the §VI security model.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "src/hdfs/datanode.h"
@@ -253,6 +254,48 @@ TEST(Upload, CancelStopsTheStream) {
   op.Cancel();
   h.sim().RunAll(kHour);
   EXPECT_FALSE(fired);
+}
+
+// Regression test for the upload continuation's self-capture: the chained
+// closure must reference itself weakly, or the shared_ptr cycle keeps the
+// chain — and everything the completion callback captured — alive forever.
+// The weak_ptr observer on the callback's payload proves the chain freed
+// itself the moment the upload finished.
+TEST(Upload, ChainReleasesItselfAfterCompletion) {
+  RackedHarness h(2, 3, {}, {});
+  auto payload = std::make_shared<int>(7);
+  std::weak_ptr<int> observer = payload;
+  bool done = false;
+  h.dfs().UploadFile(h.master(), "freed", 3 * 64 * kMiB, 2,
+                     [&done, payload = std::move(payload)](
+                         bool ok, hdfs::FileId) {
+                       EXPECT_TRUE(ok);
+                       done = true;
+                     });
+  h.sim().RunAll(kHour);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(observer.expired())
+      << "the upload chain must free itself (and the done callback) once "
+         "the last block commits";
+}
+
+// Same property on the cancel path. A self-cycled chain is unowned heap
+// garbage that not even simulation teardown can reclaim, so the observer
+// is checked after the harness is gone.
+TEST(Upload, CancelReleasesTheChain) {
+  auto payload = std::make_shared<int>(7);
+  std::weak_ptr<int> observer = payload;
+  {
+    RackedHarness h(2, 3, {}, {});
+    hdfs::DfsOp op = h.dfs().UploadFile(
+        h.master(), "cancelled-free", 50 * 64 * kMiB, 2,
+        [payload = std::move(payload)](bool, hdfs::FileId) {});
+    h.sim().RunUntil(2 * kSecond);
+    op.Cancel();
+    h.sim().RunAll(kHour);
+  }
+  EXPECT_TRUE(observer.expired())
+      << "a cancelled upload must release its continuation chain";
 }
 
 TEST(Decommission, EvacuatesAndSignalsReady) {
