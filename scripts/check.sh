@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure + build both CMake presets (default and
-# ASan/UBSan) and run the tier1-labelled tests under each. This is what a
-# PR must keep green; see ROADMAP.md ("tier-1 tests").
+# Tier-1 gate: check docs links, then configure + build both CMake presets
+# (default and ASan/UBSan) and run the tier1-labelled tests under each —
+# which includes the obs tests (tests/obs_test.cc) in both builds. This is
+# what a PR must keep green; see ROADMAP.md ("tier-1 tests").
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   default preset only (skip the sanitizer build)
@@ -17,6 +18,9 @@ for arg in "$@"; do
 done
 
 jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== docs links =="
+scripts/check_docs.sh
 
 run_preset() {
   local preset="$1" dir="$2"

@@ -14,26 +14,10 @@ namespace hogsim::exp {
 
 namespace {
 
-// Minimal recursive-descent JSON reader for the BENCH_*.json subset.
-// Values are doubles (numbers / null), strings, arrays, or objects; that
-// is everything ToBenchJson ever emits, and enough to stay robust against
-// formatting/field-order changes.
-struct JsonValue {
-  enum class Kind { kNull, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
+// Minimal recursive-descent reader behind ParseJson. Values are doubles
+// (numbers / null), strings, arrays, or objects; that is everything our
+// writers (ToBenchJson, obs snapshots/traces) ever emit, and enough to
+// stay robust against formatting/field-order changes.
 class JsonParser {
  public:
   explicit JsonParser(std::string_view text) : text_(text) {}
@@ -210,6 +194,8 @@ std::string StringField(const JsonValue& object, std::string_view key) {
 }
 
 }  // namespace
+
+JsonValue ParseJson(std::string_view json) { return JsonParser(json).Parse(); }
 
 BenchFile ParseBenchJson(std::string_view json) {
   const JsonValue root = JsonParser(json).Parse();

@@ -14,9 +14,35 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hogsim::exp {
+
+/// Parsed JSON value (the subset our writers emit: objects, arrays,
+/// strings, numbers, null — no booleans). `null` parses as a NaN number,
+/// matching how WriteBenchJson serializes non-finite metric values.
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First value under `key` (objects only); nullptr when absent.
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `json` (the writer subset above). Throws std::runtime_error on
+/// malformed input — including booleans, which our writers never emit.
+/// Shared by compare_bench and the obs trace/metrics round-trip tests.
+JsonValue ParseJson(std::string_view json);
 
 /// One "summaries" row of a BENCH_*.json file.
 struct BenchMetricRow {

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string_view>
 
+#include "src/obs/obs.h"
+#include "src/util/log.h"
 #include "src/util/strings.h"
 
 namespace hogsim::exp {
@@ -14,11 +17,15 @@ namespace {
   std::fprintf(
       status == 0 ? stdout : stderr,
       "usage: %s [--seeds=LIST|COUNT] [--threads=N] [--out=PATH] [--fast]\n"
+      "          [--metrics-out=PATH] [--trace-out=PATH]\n"
       "  --seeds=11,23,47  explicit seed list\n"
       "  --seeds=5         first 5 seeds of the default progression\n"
       "  --threads=N       sweep pool width (0 = hardware concurrency)\n"
       "  --out=PATH        BENCH_*.json output path (default: cwd)\n"
-      "  --fast            trimmed smoke run (HOGSIM_FAST=1 equivalent)\n",
+      "  --fast            trimmed smoke run (HOGSIM_FAST=1 equivalent)\n"
+      "  --metrics-out=PATH  per-run metrics snapshot JSON\n"
+      "  --trace-out=PATH    per-run Chrome trace JSON (chrome://tracing)\n"
+      "                      (multi-run sweeps insert .<config>.s<seed>)\n",
       prog);
   std::exit(status);
 }
@@ -108,6 +115,16 @@ BenchOptions ParseBenchOptions(int argc, char* const* argv,
       opts.out = std::string(value);
       continue;
     }
+    if (eat("--metrics-out=", value)) {
+      if (value.empty()) Usage(prog, 2);
+      opts.metrics_out = std::string(value);
+      continue;
+    }
+    if (eat("--trace-out=", value)) {
+      if (value.empty()) Usage(prog, 2);
+      opts.trace_out = std::string(value);
+      continue;
+    }
     std::fprintf(stderr, "%s: unknown argument '%s'\n", prog,
                  std::string(arg).c_str());
     Usage(prog, 2);
@@ -115,11 +132,73 @@ BenchOptions ParseBenchOptions(int argc, char* const* argv,
   return opts;
 }
 
+std::string PerRunOutPath(const std::string& base, std::string_view config,
+                          std::uint64_t seed, bool single_run) {
+  if (single_run) return base;
+  std::string suffix = "." + std::string(config) + ".s" + std::to_string(seed);
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  // Only a '.' inside the final path component is an extension.
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+namespace {
+
+void WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    HOG_LOG(kWarn, 0, "bench") << "cannot open " << path;
+    return;
+  }
+  out << content;
+}
+
+}  // namespace
+
 SweepResult RunBenchSweep(const BenchOptions& opts, SweepSpec& spec,
                           const RunFn& fn) {
   spec.seeds = opts.seeds;
   spec.threads = opts.threads;
-  const SweepResult result = RunSweep(spec, fn);
+  // Per-run observability capture: wrap the run function in an
+  // obs::RunCapture scope so the Simulation each run constructs delivers
+  // its metrics snapshot / trace export, then write them out under the
+  // per-run path. Runs execute on distinct sweep-pool threads with
+  // distinct (config, seed) pairs, so the captures and file writes never
+  // race. With neither flag set the wrapper is bypassed entirely.
+  RunFn run = fn;
+  const bool want_metrics = !opts.metrics_out.empty();
+  const bool want_trace = !opts.trace_out.empty();
+  if (want_metrics || want_trace) {
+    const bool single_run = spec.configs * spec.seeds.size() == 1;
+    run = [&, want_metrics, want_trace, single_run](std::size_t config,
+                                                    std::uint64_t seed) {
+      obs::RunCapture capture(want_metrics, want_trace);
+      Metrics metrics = fn(config, seed);
+      const std::string label = config < spec.config_labels.size()
+                                    ? spec.config_labels[config]
+                                    : "config" + std::to_string(config);
+      if (capture.delivered()) {
+        if (want_metrics) {
+          WriteTextFile(PerRunOutPath(opts.metrics_out, label, seed,
+                                      single_run),
+                        capture.metrics_json());
+        }
+        if (want_trace) {
+          WriteTextFile(PerRunOutPath(opts.trace_out, label, seed, single_run),
+                        capture.trace_json());
+        }
+      } else {
+        HOG_LOG(kWarn, 0, "bench")
+            << "run " << label << " seed " << seed
+            << " built no Simulation; no obs output written";
+      }
+      return metrics;
+    };
+  }
+  const SweepResult result = RunSweep(spec, run);
   const std::string path =
       opts.out.empty() ? "BENCH_" + spec.name + ".json" : opts.out;
   WriteBenchJson(path, spec, result);

@@ -9,6 +9,13 @@
 //   --threads=N        sweep pool width (0 = hardware concurrency)
 //   --out=PATH         where to write BENCH_<name>.json (default: cwd)
 //   --fast             trim the run for smoke testing (HOGSIM_FAST=1 too)
+//   --metrics-out=PATH per-run obs::MetricsRegistry snapshot JSON
+//   --trace-out=PATH   per-run Chrome trace-event JSON (chrome://tracing)
+//
+// The obs flags produce one file per (config, seed) run: with a single run
+// the path is used verbatim; with several, ".<config>.s<seed>" is inserted
+// before the extension (trace.json -> trace.55nodes.s11.json). See
+// docs/OBSERVABILITY.md for the analysis workflow.
 //
 // RunBenchSweep applies the options to a SweepSpec, runs the sweep, writes
 // the BENCH_*.json baseline, and prints the per-config summaries — so a
@@ -32,7 +39,19 @@ struct BenchOptions {
   unsigned threads = 0;  ///< Pool width; 0 = hardware concurrency.
   std::string out;       ///< Output path; "" = "BENCH_<name>.json" in cwd.
   bool fast = false;     ///< Smoke-test mode (--fast or HOGSIM_FAST=1).
+  /// Per-run metrics snapshot path ("" = disabled). Multi-run sweeps get
+  /// ".<config>.s<seed>" inserted before the extension.
+  std::string metrics_out;
+  /// Per-run Chrome trace path ("" = disabled); same suffix rule. Enables
+  /// the sim-time tracer for every Simulation built inside the run.
+  std::string trace_out;
 };
+
+/// The per-run output path for --metrics-out/--trace-out: `base` verbatim
+/// when `single_run`, otherwise ".<config>.s<seed>" inserted before the
+/// extension (or appended when there is none).
+std::string PerRunOutPath(const std::string& base, std::string_view config,
+                          std::uint64_t seed, bool single_run);
 
 /// The default seed progression: 11, 23, 47, then s[i] = 2*s[i-1] + 1
 /// (95, 191, ...). Deterministic, so "--seeds=8" means the same eight

@@ -13,6 +13,13 @@
 // mean) and can serialize everything to the BENCH_*.json convention, which
 // gives the repo a machine-readable perf/accuracy trajectory to regress
 // against (see ROADMAP.md).
+//
+// Units: metric values carry whatever unit the run function reports —
+// encode it in the metric name (`response_s`, `traffic_gib`), since the
+// summaries and BENCH_*.json preserve names verbatim. Thread-safety:
+// RunSweep owns its pool and joins it before returning; the caller only
+// needs `fn` to be safe to invoke concurrently (one private Simulation
+// per call, no shared mutable state).
 #pragma once
 
 #include <cstdint>

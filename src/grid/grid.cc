@@ -11,7 +11,12 @@ namespace hogsim::grid {
 
 Grid::Grid(sim::Simulation& sim, net::FlowNetwork& net, net::NodeId repo_node,
            Rng rng, GridConfig config)
-    : sim_(sim), net_(net), repo_node_(repo_node), rng_(rng), config_(config) {}
+    : sim_(sim),
+      net_(net),
+      repo_node_(repo_node),
+      rng_(rng),
+      config_(config),
+      ins_(sim.obs().metrics()) {}
 
 void Grid::AddSite(SiteConfig config) {
   Site site;
@@ -115,6 +120,8 @@ void Grid::SubmitGlidein() {
 
   ++site.active;
   ++active_leases_;
+  ins_.glidein_submitted.Add();
+  node.submitted_at_ = sim_.now();
 
   const double wait = site.rng.Exponential(site.config.queue_delay_mean_s);
   node.lifetime_event_ = sim_.ScheduleAfter(
@@ -152,6 +159,13 @@ void Grid::FinishStartup(GridNodeId id) {
   if (node.state_ != NodeState::kStarting) return;
   node.state_ = NodeState::kRunning;
   ++running_;
+  ins_.glidein_started.Add();
+  ins_.nodes_running.Set(running_);
+  ins_.acquire_latency_s.Observe(ToSeconds(sim_.now() - node.submitted_at_));
+  obs::Tracer& tracer = sim_.obs().tracer();
+  tracer.EmitSpan("grid", "glidein.acquire", node.submitted_at_,
+                  sim_.now() - node.submitted_at_, id);
+  tracer.EmitCounter("grid", "nodes.running", sim_.now(), running_);
   SchedulePreemption(id);
   HOG_LOG(kInfo, sim_.now(), "grid")
       << "glidein up: " << node.hostname() << " (running=" << running_ << ")";
@@ -180,6 +194,10 @@ void Grid::Preempt(GridNodeId id, bool allow_zombie) {
   if (was_running) {
     --running_;
     ++preemptions_;
+    ins_.node_preempted.Add();
+    ins_.nodes_running.Set(running_);
+    sim_.obs().tracer().EmitCounter("grid", "nodes.running", sim_.now(),
+                                    running_);
   }
 
   const bool zombie = was_running && allow_zombie &&
@@ -190,6 +208,9 @@ void Grid::Preempt(GridNodeId id, bool allow_zombie) {
     node.state_ = NodeState::kZombie;
     ++zombies_;
     ++zombie_events_;
+    ins_.node_zombied.Add();
+    ins_.nodes_zombie.Set(zombies_);
+    sim_.obs().tracer().EmitInstant("grid", "node.zombie", sim_.now(), id);
     node.disk().set_writable(false);
     HOG_LOG(kInfo, sim_.now(), "grid")
         << "zombie preemption: " << node.hostname();
@@ -199,6 +220,7 @@ void Grid::Preempt(GridNodeId id, bool allow_zombie) {
     net_.FailFlowsAtNode(node.net_node());
     node.disk().CancelAll();
     if (was_running) {
+      sim_.obs().tracer().EmitInstant("grid", "node.preempt", sim_.now(), id);
       HOG_LOG(kInfo, sim_.now(), "grid")
           << "preempted: " << node.hostname() << " (running=" << running_
           << ")";
@@ -213,6 +235,8 @@ void Grid::KillZombie(GridNodeId id) {
   if (node.state_ != NodeState::kZombie) return;
   node.state_ = NodeState::kDead;
   --zombies_;
+  ins_.zombie_killed.Add();
+  ins_.nodes_zombie.Set(zombies_);
   net_.FailFlowsAtNode(node.net_node());
   node.disk().CancelAll();
 }
@@ -252,6 +276,9 @@ void Grid::PreemptSiteFraction(std::size_t site_index, double fraction) {
     Preempt(victims[i], /*allow_zombie=*/true);
   }
   if (count > 0) {
+    ins_.site_burst.Add();
+    sim_.obs().tracer().EmitInstant("grid", "site.burst", sim_.now(),
+                                    site_index);
     HOG_LOG(kInfo, sim_.now(), "grid")
         << "burst at " << site.config.resource_name << ": " << count
         << " nodes preempted";

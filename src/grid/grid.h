@@ -23,6 +23,7 @@
 
 #include "src/grid/condor.h"
 #include "src/net/flow_network.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 #include "src/storage/disk.h"
 #include "src/util/rng.h"
@@ -109,6 +110,7 @@ class GridNode {
   std::unique_ptr<storage::Disk> disk_;
   int cores_;
   NodeState state_ = NodeState::kQueued;
+  SimTime submitted_at_ = 0;  // lease submission time; start of acquire span
   sim::EventHandle lifetime_event_;
 };
 
@@ -197,6 +199,30 @@ class Grid {
     Rng rng{0};
   };
 
+  // Observability handles, registered once at construction (obs/metrics.h).
+  // Names follow the subsystem.noun.verb convention (docs/OBSERVABILITY.md).
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& m)
+        : glidein_submitted(m.GetCounter("grid.glidein.submitted")),
+          glidein_started(m.GetCounter("grid.glidein.started")),
+          node_preempted(m.GetCounter("grid.node.preempted")),
+          node_zombied(m.GetCounter("grid.node.zombied")),
+          zombie_killed(m.GetCounter("grid.zombie.killed")),
+          site_burst(m.GetCounter("grid.site.burst")),
+          nodes_running(m.GetGauge("grid.nodes.running")),
+          nodes_zombie(m.GetGauge("grid.nodes.zombie")),
+          acquire_latency_s(m.GetHistogram("grid.glidein.acquire_latency_s")) {}
+    obs::Counter& glidein_submitted;
+    obs::Counter& glidein_started;
+    obs::Counter& node_preempted;
+    obs::Counter& node_zombied;
+    obs::Counter& zombie_killed;
+    obs::Counter& site_burst;
+    obs::Gauge& nodes_running;
+    obs::Gauge& nodes_zombie;
+    obs::Histogram& acquire_latency_s;
+  };
+
   void Reconcile();  // submit replacements / trim to target
   void SubmitGlidein();
   void StartGlidein(GridNodeId id);
@@ -211,6 +237,7 @@ class Grid {
   net::NodeId repo_node_;
   Rng rng_;
   GridConfig config_;
+  Instruments ins_;
   std::vector<Site> sites_;
   std::vector<bool> site_allowed_;
   std::vector<std::unique_ptr<GridNode>> nodes_;

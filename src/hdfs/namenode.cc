@@ -19,7 +19,8 @@ Namenode::Namenode(sim::Simulation& sim, net::FlowNetwork& net,
       topology_(std::move(topology)),
       policy_(std::move(policy)),
       rng_(rng),
-      config_(config) {
+      config_(config),
+      ins_(sim.obs().metrics()) {
   assert(topology_ && policy_);
 }
 
@@ -98,11 +99,15 @@ DatanodeId Namenode::RegisterDatanode(Datanode& daemon) {
   const auto id = static_cast<DatanodeId>(datanodes_.size() - 1);
   by_net_node_[daemon.net_node()] = id;
   ++live_datanodes_;
+  ins_.datanodes_live.Set(live_datanodes_);
+  sim_.obs().tracer().EmitCounter("hdfs", "datanodes.live", sim_.now(),
+                                  live_datanodes_);
   return id;
 }
 
 void Namenode::Heartbeat(DatanodeId id) {
   if (!available_ || id >= datanodes_.size()) return;
+  ins_.heartbeat_received.Add();
   DatanodeEntry& entry = datanodes_[id];
   entry.last_heartbeat = sim_.now();
   if (!entry.alive) {
@@ -112,6 +117,9 @@ void Namenode::Heartbeat(DatanodeId id) {
     // safe.
     entry.alive = true;
     ++live_datanodes_;
+    ins_.datanodes_live.Set(live_datanodes_);
+    sim_.obs().tracer().EmitCounter("hdfs", "datanodes.live", sim_.now(),
+                                    live_datanodes_);
   }
 }
 
@@ -132,6 +140,14 @@ void Namenode::DeclareDead(DatanodeId id) {
   entry.alive = false;
   --live_datanodes_;
   ++declared_dead_;
+  ins_.datanode_declared_dead.Add();
+  ins_.datanodes_live.Set(live_datanodes_);
+  // Detection latency: silence from the last heartbeat until the namenode
+  // noticed — the quantity the paper's 30 s recheck modification targets.
+  ins_.detection_latency_s.Observe(ToSeconds(sim_.now() - entry.last_heartbeat));
+  obs::Tracer& tracer = sim_.obs().tracer();
+  tracer.EmitInstant("hdfs", "datanode.dead", sim_.now(), id);
+  tracer.EmitCounter("hdfs", "datanodes.live", sim_.now(), live_datanodes_);
   HOG_LOG(kInfo, sim_.now(), "namenode")
       << entry.hostname << " declared dead; " << entry.blocks.size()
       << " replicas lost";
@@ -286,6 +302,7 @@ void Namenode::CommitBlock(BlockId block,
   for (DatanodeId dn : holders) {
     it->second.holders.insert(dn);
     datanodes_[dn].blocks.insert(block);
+    ins_.block_placed.Add();
   }
   UpdateNeeded(block);
 }
@@ -305,6 +322,7 @@ void Namenode::AddReplica(BlockId block, DatanodeId dn) {
   if (it == blocks_.end()) return;
   it->second.holders.insert(dn);
   datanodes_[dn].blocks.insert(block);
+  ins_.block_placed.Add();
   UpdateNeeded(block);
 }
 
@@ -418,6 +436,7 @@ void Namenode::UpdateNeeded(BlockId block) {
   } else {
     needed_.erase(block);
   }
+  ins_.blocks_under_replicated.Set(static_cast<double>(needed_.size()));
 }
 
 void Namenode::ReplicationScan() {
@@ -474,7 +493,7 @@ bool Namenode::TryScheduleReplication(BlockId block) {
 
   const std::uint64_t tid = next_transfer_++;
   Transfer transfer{block, src, dst, net::kInvalidFlow,
-                    storage::FairQueue::kInvalidOp};
+                    storage::FairQueue::kInvalidOp, sim_.now()};
   ++datanodes_[src].repl_out;
   ++datanodes_[dst].repl_in;
   ++info.pending_replications;
@@ -540,8 +559,13 @@ void Namenode::FinishTransfer(std::uint64_t transfer_id, bool ok) {
   if (ok && block_live && dst_ok) {
     ++replications_completed_;
     replication_bytes_ += size;
+    ins_.replication_completed.Add();
+    // The re-replication pipeline span: schedule -> WAN copy -> disk write.
+    sim_.obs().tracer().EmitSpan("hdfs", "replication", t.started,
+                                 sim_.now() - t.started, t.block);
     AddReplica(t.block, t.dst);
   } else {
+    ins_.replication_failed.Add();
     // Return the reservation; a dead target's disk is gone anyway but the
     // accounting keeps the object consistent.
     if (datanodes_[t.dst].daemon != nullptr && size > 0) {

@@ -19,6 +19,7 @@
 #include "src/hdfs/topology.h"
 #include "src/hdfs/types.h"
 #include "src/net/flow_network.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 #include "src/storage/disk.h"
 #include "src/util/rng.h"
@@ -194,6 +195,32 @@ class Namenode final : public ClusterView {
     DatanodeId dst;
     net::FlowId flow = net::kInvalidFlow;
     storage::FairQueue::OpId disk_op = storage::FairQueue::kInvalidOp;
+    SimTime started = 0;  // re-replication pipeline span start
+  };
+
+  // Observability handles, registered once at construction (obs/metrics.h).
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& m)
+        : heartbeat_received(m.GetCounter("hdfs.heartbeat.received")),
+          datanode_declared_dead(
+              m.GetCounter("hdfs.datanode.declared_dead")),
+          block_placed(m.GetCounter("hdfs.block.placed")),
+          replication_completed(
+              m.GetCounter("hdfs.replication.completed")),
+          replication_failed(m.GetCounter("hdfs.replication.failed")),
+          datanodes_live(m.GetGauge("hdfs.datanodes.live")),
+          blocks_under_replicated(
+              m.GetGauge("hdfs.blocks.under_replicated")),
+          detection_latency_s(
+              m.GetHistogram("hdfs.deadnode.detection_latency_s")) {}
+    obs::Counter& heartbeat_received;
+    obs::Counter& datanode_declared_dead;
+    obs::Counter& block_placed;
+    obs::Counter& replication_completed;
+    obs::Counter& replication_failed;
+    obs::Gauge& datanodes_live;
+    obs::Gauge& blocks_under_replicated;
+    obs::Histogram& detection_latency_s;
   };
 
   void CheckHeartbeats();
@@ -212,6 +239,7 @@ class Namenode final : public ClusterView {
   std::unique_ptr<BlockPlacementPolicy> policy_;
   Rng rng_;
   HdfsConfig config_;
+  Instruments ins_;
 
   std::vector<DatanodeEntry> datanodes_;
   std::unordered_map<net::NodeId, DatanodeId> by_net_node_;

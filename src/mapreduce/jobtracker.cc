@@ -16,9 +16,25 @@ JobTracker::JobTracker(sim::Simulation& sim, net::FlowNetwork& net,
       nn_(namenode),
       master_(master),
       topology_(std::move(topology)),
-      config_(config) {
+      config_(config),
+      ins_(sim.obs().metrics()) {
   assert(topology_);
 }
+
+namespace {
+
+// Span names are static strings (the tracer stores pointers, not copies);
+// the name encodes task kind, locality tier, and speculation.
+const char* AttemptSpanName(TaskType type, int locality, bool speculative) {
+  if (type == TaskType::kReduce) return speculative ? "reduce.spec" : "reduce";
+  switch (locality) {
+    case 0: return speculative ? "map.local.spec" : "map.local";
+    case 1: return speculative ? "map.rack.spec" : "map.rack";
+    default: return speculative ? "map.remote.spec" : "map.remote";
+  }
+}
+
+}  // namespace
 
 void JobTracker::Start() {
   const SimDuration check =
@@ -38,6 +54,9 @@ TrackerId JobTracker::RegisterTracker(TaskTracker& daemon) {
   entry.last_heartbeat = sim_.now();
   trackers_.push_back(std::move(entry));
   ++live_trackers_;
+  ins_.trackers_live.Set(live_trackers_);
+  sim_.obs().tracer().EmitCounter("mr", "trackers.live", sim_.now(),
+                                  live_trackers_);
   return static_cast<TrackerId>(trackers_.size() - 1);
 }
 
@@ -48,6 +67,9 @@ void JobTracker::Heartbeat(TrackerId id) {
   if (!entry.alive) {
     entry.alive = true;
     ++live_trackers_;
+    ins_.trackers_live.Set(live_trackers_);
+    sim_.obs().tracer().EmitCounter("mr", "trackers.live", sim_.now(),
+                                    live_trackers_);
   }
   ScheduleOn(id);
 }
@@ -68,6 +90,11 @@ void JobTracker::DeclareLost(TrackerId id) {
   entry.alive = false;
   --live_trackers_;
   ++trackers_lost_;
+  ins_.tracker_lost.Add();
+  ins_.trackers_live.Set(live_trackers_);
+  obs::Tracer& tracer = sim_.obs().tracer();
+  tracer.EmitInstant("mr", "tracker.lost", sim_.now(), id);
+  tracer.EmitCounter("mr", "trackers.live", sim_.now(), live_trackers_);
   HOG_LOG(kInfo, sim_.now(), "jobtracker")
       << entry.hostname << " lost (" << entry.attempts.size()
       << " running attempts)";
@@ -142,6 +169,8 @@ JobId JobTracker::SubmitJob(JobSpec spec) {
   jobs_.push_back(std::move(job));
   fifo_.push_back(jobs_.back().id);
   ++running_jobs_;
+  ins_.job_submitted.Add();
+  ins_.jobs_running.Set(running_jobs_);
   // A job with no work completes immediately.
   MaybeCompleteJob(jobs_.back());
   return jobs_.back().id;
@@ -324,12 +353,21 @@ bool JobTracker::AssignMap(TrackerId id) {
       // copies are placed wherever a slot is free.
       if (!speculative) {
         switch (locality) {
-          case 0: ++job.data_local_maps; break;
-          case 1: ++job.rack_local_maps; break;
-          default: ++job.remote_maps; break;
+          case 0:
+            ++job.data_local_maps;
+            ins_.map_local.Add();
+            break;
+          case 1:
+            ++job.rack_local_maps;
+            ins_.map_rack.Add();
+            break;
+          default:
+            ++job.remote_maps;
+            ins_.map_remote.Add();
+            break;
         }
       }
-      LaunchAttempt(job, job.maps[task_index], id, speculative);
+      LaunchAttempt(job, job.maps[task_index], id, speculative, locality);
       return true;
     }
     ++i;
@@ -358,7 +396,7 @@ bool JobTracker::AssignReduce(TrackerId id) {
 }
 
 void JobTracker::LaunchAttempt(JobInfo& job, TaskInfo& task, TrackerId tracker,
-                               bool speculative) {
+                               bool speculative, int locality) {
   TrackerEntry& entry = trackers_[tracker];
   const AttemptId id = next_attempt_++;
   AttemptRecord record;
@@ -368,6 +406,7 @@ void JobTracker::LaunchAttempt(JobInfo& job, TaskInfo& task, TrackerId tracker,
   record.tracker = tracker;
   record.started = sim_.now();
   record.speculative = speculative;
+  record.locality = locality;
   attempts_.emplace(id, record);
   entry.attempts.insert(id);
   task.active_attempts.push_back(id);
@@ -378,7 +417,11 @@ void JobTracker::LaunchAttempt(JobInfo& job, TaskInfo& task, TrackerId tracker,
   }
   if (task.first_launch < 0) task.first_launch = sim_.now();
   ++attempts_launched_;
-  if (speculative) ++speculative_attempts_;
+  ins_.attempt_launched.Add();
+  if (speculative) {
+    ++speculative_attempts_;
+    ins_.attempt_speculative.Add();
+  }
   if (on_attempt_event_) {
     on_attempt_event_({sim_.now(), AttemptEvent::Kind::kLaunched, job.id,
                        task.type, task.index, id, tracker, speculative,
@@ -461,6 +504,16 @@ void JobTracker::NotifyReducesOfMap(JobInfo& job, const TaskInfo& map) {
 void JobTracker::ReportAttempt(const AttemptReport& report) {
   auto it = attempts_.find(report.attempt);
   if (it == attempts_.end()) return;  // killed attempt's stale report
+  {
+    const AttemptRecord& record = it->second;
+    (report.success ? ins_.attempt_succeeded : ins_.attempt_failed).Add();
+    ins_.attempt_duration_s.Observe(ToSeconds(sim_.now() - record.started));
+    // One span per finished attempt; tid = tracker, so chrome://tracing
+    // shows a per-node lane of everything that node executed.
+    sim_.obs().tracer().EmitSpan(
+        "mr", AttemptSpanName(record.type, record.locality, record.speculative),
+        record.started, sim_.now() - record.started, record.tracker);
+  }
   if (on_attempt_event_) {
     on_attempt_event_({sim_.now(),
                        report.success ? AttemptEvent::Kind::kSucceeded
@@ -633,6 +686,9 @@ void JobTracker::RevertCompletedMap(JobInfo& job, int map_index) {
   task.completed_at = -1;
   --job.maps_completed;
   ++maps_reexecuted_;
+  ins_.map_reexecuted.Add();
+  sim_.obs().tracer().EmitInstant("mr", "map.reexecute", sim_.now(),
+                                  static_cast<std::uint64_t>(map_index));
   if (std::find(job.pending_maps.begin(), job.pending_maps.end(), map_index) ==
       job.pending_maps.end()) {
     job.pending_maps.push_back(map_index);
@@ -650,6 +706,10 @@ void JobTracker::MaybeCompleteJob(JobInfo& job) {
   job.state = JobState::kSucceeded;
   job.finished = sim_.now();
   --running_jobs_;
+  ins_.job_succeeded.Add();
+  ins_.jobs_running.Set(running_jobs_);
+  sim_.obs().tracer().EmitSpan("mr", "job", job.submitted,
+                               job.finished - job.submitted, job.id);
   // Hadoop deletes intermediate map output only now (§IV.D.2).
   for (TrackerEntry& entry : trackers_) {
     if (entry.daemon != nullptr && entry.daemon->process_alive()) {
@@ -667,6 +727,10 @@ void JobTracker::FailJob(JobInfo& job) {
   job.state = JobState::kFailed;
   job.finished = sim_.now();
   --running_jobs_;
+  ins_.job_failed.Add();
+  ins_.jobs_running.Set(running_jobs_);
+  sim_.obs().tracer().EmitSpan("mr", "job.failed", job.submitted,
+                               job.finished - job.submitted, job.id);
   // Kill every remaining attempt of the job.
   for (auto* tasks : {&job.maps, &job.reduces}) {
     for (TaskInfo& task : *tasks) {

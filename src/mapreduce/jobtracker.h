@@ -20,6 +20,7 @@
 #include "src/mapreduce/tasktracker.h"
 #include "src/mapreduce/types.h"
 #include "src/net/flow_network.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 #include "src/util/stats.h"
 
@@ -190,6 +191,42 @@ class JobTracker {
     TrackerId tracker = kInvalidTracker;
     SimTime started = 0;
     bool speculative = false;
+    int locality = 2;  // maps: 0 node-local, 1 rack-local, 2 remote
+  };
+
+  // Observability handles, registered once at construction (obs/metrics.h).
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& m)
+        : attempt_launched(m.GetCounter("mr.attempt.launched")),
+          attempt_succeeded(m.GetCounter("mr.attempt.succeeded")),
+          attempt_failed(m.GetCounter("mr.attempt.failed")),
+          attempt_speculative(m.GetCounter("mr.attempt.speculative")),
+          map_local(m.GetCounter("mr.map.local")),
+          map_rack(m.GetCounter("mr.map.rack")),
+          map_remote(m.GetCounter("mr.map.remote")),
+          map_reexecuted(m.GetCounter("mr.map.reexecuted")),
+          tracker_lost(m.GetCounter("mr.tracker.lost")),
+          job_submitted(m.GetCounter("mr.job.submitted")),
+          job_succeeded(m.GetCounter("mr.job.succeeded")),
+          job_failed(m.GetCounter("mr.job.failed")),
+          trackers_live(m.GetGauge("mr.trackers.live")),
+          jobs_running(m.GetGauge("mr.jobs.running")),
+          attempt_duration_s(m.GetHistogram("mr.attempt.duration_s")) {}
+    obs::Counter& attempt_launched;
+    obs::Counter& attempt_succeeded;
+    obs::Counter& attempt_failed;
+    obs::Counter& attempt_speculative;
+    obs::Counter& map_local;
+    obs::Counter& map_rack;
+    obs::Counter& map_remote;
+    obs::Counter& map_reexecuted;
+    obs::Counter& tracker_lost;
+    obs::Counter& job_submitted;
+    obs::Counter& job_succeeded;
+    obs::Counter& job_failed;
+    obs::Gauge& trackers_live;
+    obs::Gauge& jobs_running;
+    obs::Histogram& attempt_duration_s;
   };
 
   void CheckTrackers();
@@ -203,8 +240,10 @@ class JobTracker {
   bool LocalityWaitPermits(JobInfo& job, int locality);
   int PickReduceTask(JobInfo& job, const TrackerEntry& tracker,
                      bool* speculative);
+  /// `locality` labels map attempts (0 node-local / 1 rack-local /
+  /// 2 remote) for accounting and trace spans; reduces always pass 2.
   void LaunchAttempt(JobInfo& job, TaskInfo& task, TrackerId tracker,
-                     bool speculative);
+                     bool speculative, int locality = 2);
   void HandleMapComplete(const AttemptReport& report);
   void HandleReduceComplete(const AttemptReport& report);
   void HandleFailure(const AttemptReport& report);
@@ -225,6 +264,7 @@ class JobTracker {
   net::NodeId master_;
   hdfs::TopologyScript topology_;
   MrConfig config_;
+  Instruments ins_;
 
   std::vector<TrackerEntry> trackers_;
   std::vector<JobInfo> jobs_;

@@ -41,6 +41,7 @@ TaskTracker::TaskTracker(sim::Simulation& sim, net::FlowNetwork& net,
       hostname_(std::move(hostname)),
       node_(node),
       disk_(disk),
+      ins_(sim.obs().metrics()),
       map_slots_(map_slots),
       reduce_slots_(reduce_slots) {}
 
@@ -308,6 +309,8 @@ void TaskTracker::PumpShuffle(AttemptId id) {
             Attempt& attempt2 = sit->second;
             attempt2.done_maps.insert(map_index);
             attempt2.shuffled += fetch.bytes;
+            ins_.shuffle_fetched.Add();
+            ins_.shuffle_bytes.Add(static_cast<std::uint64_t>(fetch.bytes));
             if (static_cast<int>(attempt2.done_maps.size()) ==
                 attempt2.reduce.num_maps) {
               ReduceMerge(id);

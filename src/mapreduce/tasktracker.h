@@ -24,6 +24,7 @@
 #include "src/hdfs/dfs_client.h"
 #include "src/mapreduce/types.h"
 #include "src/net/flow_network.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 #include "src/storage/disk.h"
 
@@ -174,6 +175,17 @@ class TaskTracker {
   void ReduceCompute(AttemptId id);
   void ReduceWriteOutput(AttemptId id);
 
+  // Observability handles, registered once at construction (obs/metrics.h).
+  // All tasktrackers of a cluster share these counters: they are
+  // cluster-wide shuffle totals, not per-node.
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& m)
+        : shuffle_fetched(m.GetCounter("mr.shuffle.fetched")),
+          shuffle_bytes(m.GetCounter("mr.shuffle.bytes")) {}
+    obs::Counter& shuffle_fetched;
+    obs::Counter& shuffle_bytes;
+  };
+
   sim::Simulation& sim_;
   net::FlowNetwork& net_;
   JobTracker& jt_;
@@ -181,6 +193,7 @@ class TaskTracker {
   std::string hostname_;
   net::NodeId node_;
   storage::Disk& disk_;
+  Instruments ins_;
   int map_slots_;
   int reduce_slots_;
   TrackerId id_ = kInvalidTracker;

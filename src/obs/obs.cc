@@ -1,0 +1,26 @@
+#include "src/obs/obs.h"
+
+namespace hogsim::obs {
+
+namespace {
+thread_local RunCapture* g_current_capture = nullptr;
+}  // namespace
+
+RunCapture::RunCapture(bool want_metrics, bool want_trace)
+    : want_metrics_(want_metrics), want_trace_(want_trace) {
+  previous_ = g_current_capture;
+  g_current_capture = this;
+}
+
+RunCapture::~RunCapture() { g_current_capture = previous_; }
+
+RunCapture* RunCapture::Current() { return g_current_capture; }
+
+void RunCapture::Deliver(const Observability& obs) {
+  if (delivered_) return;
+  delivered_ = true;
+  if (want_metrics_) metrics_json_ = obs.metrics().SnapshotJson();
+  if (want_trace_) trace_json_ = obs.tracer().ExportChromeJson();
+}
+
+}  // namespace hogsim::obs

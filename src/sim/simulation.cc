@@ -5,6 +5,33 @@
 
 namespace hogsim::sim {
 
+Simulation::Simulation() {
+  // The sim.* metrics are snapshot-time probes over counters the queue
+  // already maintains — the Step() hot loop carries no instrumentation.
+  // Probes capture `this`; self-registration is safe because the registry
+  // is a member, destroyed in the same destructor that could last use it.
+  obs::MetricsRegistry& m = obs_.metrics();
+  m.RegisterProbe("sim.events.fired",
+                  [this] { return static_cast<double>(executed_); });
+  m.RegisterProbe("sim.events.cancelled",
+                  [this] { return static_cast<double>(cancelled_); });
+  m.RegisterProbe("sim.queue.depth",
+                  [this] { return static_cast<double>(live_); });
+  m.RegisterProbe("sim.queue.entries",
+                  [this] { return static_cast<double>(heap_.size()); });
+  m.RegisterProbe("sim.queue.compactions",
+                  [this] { return static_cast<double>(compactions_); });
+  if (obs::RunCapture* capture = obs::RunCapture::Current()) {
+    if (capture->want_trace()) obs_.tracer().set_enabled(true);
+  }
+}
+
+Simulation::~Simulation() {
+  if (obs::RunCapture* capture = obs::RunCapture::Current()) {
+    capture->Deliver(obs_);
+  }
+}
+
 EventHandle Simulation::ScheduleAt(SimTime t, Callback cb) {
   assert(cb);
   if (t < now_) t = now_;

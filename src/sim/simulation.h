@@ -14,6 +14,12 @@
 // compacted whenever stale entries outnumber live ones, so cancel/re-arm
 // loops — heartbeat timers re-armed every 30 s for a whole run — hold the
 // queue at O(live events) instead of growing with simulated time.
+//
+// Units: all times in this header are sim-time microsecond ticks (SimTime /
+// SimDuration, src/util/units.h) — never wall-clock, never seconds.
+// Thread-safety: none. A Simulation and everything scheduled on it belong
+// to one thread; parallel sweeps run whole Simulations on separate threads
+// (src/exp/sweep.h).
 #pragma once
 
 #include <cassert>
@@ -21,6 +27,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/util/units.h"
 
 namespace hogsim::sim {
@@ -51,12 +58,26 @@ class Simulation {
  public:
   using Callback = std::function<void()>;
 
-  Simulation() = default;
+  /// Registers the sim.* snapshot probes and, when an obs::RunCapture with
+  /// want_trace() is installed on this thread, enables the tracer.
+  Simulation();
+  /// Delivers the metrics snapshot / trace export to the innermost
+  /// obs::RunCapture on this thread, if one is installed (first Simulation
+  /// destroyed wins; see src/obs/obs.h).
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  /// Current virtual time.
+  /// Current virtual time, in sim-time ticks (µs).
   SimTime now() const { return now_; }
+
+  /// This simulation's observability bundle (metrics registry + tracer).
+  /// Subsystems cache instrument handles from obs().metrics() at
+  /// construction and emit trace records through obs().tracer(). The
+  /// sim.* metrics are snapshot-time probes over the stats surface below,
+  /// so the event loop itself carries zero instrumentation cost.
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
 
   /// Schedules `cb` at absolute time `t`; times in the past are clamped to
   /// now (they fire next, after already-queued events at `now`). Returns a
@@ -143,6 +164,7 @@ class Simulation {
   /// Drops stale heap entries and restores the heap property.
   void Compact();
 
+  obs::Observability obs_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -268,6 +268,22 @@ TEST(BenchMain, ParseBenchOptionsFlags) {
   EXPECT_TRUE(opts.fast);
 }
 
+TEST(BenchMain, ParseBenchOptionsObsFlags) {
+  const char* argv[] = {"bench", "--metrics-out=/tmp/m.json",
+                        "--trace-out=/tmp/t.json"};
+  const BenchOptions opts =
+      ParseBenchOptions(3, const_cast<char* const*>(argv));
+  EXPECT_EQ(opts.metrics_out, "/tmp/m.json");
+  EXPECT_EQ(opts.trace_out, "/tmp/t.json");
+
+  // Both default to disabled.
+  const char* argv2[] = {"bench"};
+  const BenchOptions defaults =
+      ParseBenchOptions(1, const_cast<char* const*>(argv2));
+  EXPECT_TRUE(defaults.metrics_out.empty());
+  EXPECT_TRUE(defaults.trace_out.empty());
+}
+
 TEST(BenchMain, SingleBareSeedsNumberIsACount) {
   const char* argv[] = {"bench", "--seeds=4"};
   const BenchOptions opts =

@@ -1,0 +1,343 @@
+// Unit tests for the observability layer (hog::obs): registry semantics,
+// snapshot JSON (byte-pinned golden), tracer ring-buffer wraparound, the
+// Chrome trace export (byte-pinned + exp::ParseJson round-trip), the
+// per-run capture bridge, and an end-to-end capture of a real HogCluster.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/exp/bench_compare.h"
+#include "src/exp/bench_main.h"
+#include "src/hog/hog_cluster.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulation.h"
+
+namespace hogsim::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge& g = reg.GetGauge("test.gauge");
+  g.Set(2.0);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Metrics, HandlesArePointerStable) {
+  MetricsRegistry reg;
+  Counter& first = reg.GetCounter("stable.counter");
+  Gauge& gauge = reg.GetGauge("stable.gauge");
+  Histogram& hist = reg.GetHistogram("stable.hist");
+  // Grow the registry a lot; std::map nodes must not move.
+  for (int i = 0; i < 200; ++i) {
+    reg.GetCounter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(&first, &reg.GetCounter("stable.counter"));
+  EXPECT_EQ(&gauge, &reg.GetGauge("stable.gauge"));
+  EXPECT_EQ(&hist, &reg.GetHistogram("stable.hist"));
+}
+
+TEST(Metrics, HistogramStatsAndBuckets) {
+  Histogram h;
+  h.Observe(0.5);
+  h.Observe(3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.75);
+  EXPECT_EQ(h.bucket(0), 1u);  // 0.5 <= 1
+  EXPECT_EQ(h.bucket(2), 1u);  // 3.0 in (2, 4]
+
+  // Negative samples clamp to 0; NaN samples are skipped.
+  h.Observe(-1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Metrics, HistogramBucketIndexEdges) {
+  // Bucket 0 covers everything <= 1; bounds are inclusive, so an exact
+  // power of two 2^k belongs to bucket k, not k + 1.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1.5), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2.5), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4.0), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4.5), 3);
+  // Values past the last bound clamp into the final bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kBuckets - 1);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(3), 8.0);
+}
+
+TEST(Metrics, SnapshotIsSortedAndEvaluatesProbes) {
+  MetricsRegistry reg;
+  double level = 7.0;
+  reg.RegisterProbe("zz.probe", [&] { return level; });
+  reg.GetCounter("mm.counter").Add(3);
+  reg.GetGauge("aa.gauge").Set(1.0);
+
+  std::vector<MetricSample> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "aa.gauge");
+  EXPECT_EQ(snap[1].name, "mm.counter");
+  EXPECT_EQ(snap[2].name, "zz.probe");
+  EXPECT_DOUBLE_EQ(snap[2].value, 7.0);
+
+  level = 9.0;  // probes are read at snapshot time, not registration time
+  EXPECT_DOUBLE_EQ(reg.Snapshot()[2].value, 9.0);
+
+  // Re-registering a probe name replaces the callback.
+  reg.RegisterProbe("zz.probe", [] { return -1.0; });
+  EXPECT_DOUBLE_EQ(reg.Snapshot()[2].value, -1.0);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Metrics, SnapshotJsonGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.count").Add(3);
+  reg.GetGauge("b.gauge").Set(2.5);
+  Histogram& h = reg.GetHistogram("c.hist_s");
+  h.Observe(0.5);
+  h.Observe(3.0);
+  reg.RegisterProbe("d.probe", [] { return 7.0; });
+
+  const std::string expected =
+      "{\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"a.count\", \"kind\": \"counter\", \"value\": 3},\n"
+      "    {\"name\": \"b.gauge\", \"kind\": \"gauge\", \"value\": 2.5},\n"
+      "    {\"name\": \"c.hist_s\", \"kind\": \"histogram\", \"count\": 2, "
+      "\"sum\": 3.5, \"min\": 0.5, \"max\": 3, \"mean\": 1.75, "
+      "\"buckets\": [[1, 1], [4, 1]]},\n"
+      "    {\"name\": \"d.probe\", \"kind\": \"probe\", \"value\": 7}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(reg.SnapshotJson(), expected);
+
+  // The snapshot parses with the same reader compare_bench uses.
+  const exp::JsonValue root = exp::ParseJson(reg.SnapshotJson());
+  ASSERT_EQ(root.kind, exp::JsonValue::Kind::kObject);
+  const exp::JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->array.size(), 4u);
+  EXPECT_EQ(metrics->array[0].Find("name")->string, "a.count");
+  EXPECT_DOUBLE_EQ(metrics->array[0].Find("value")->number, 3.0);
+  EXPECT_DOUBLE_EQ(metrics->array[2].Find("mean")->number, 1.75);
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.capacity(), 0u);
+  t.EmitInstant("sim", "noop", 100);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Trace, EnablingWithNoRingAllocatesDefault) {
+  Tracer t;
+  t.set_enabled(true);
+  EXPECT_TRUE(t.enabled());
+  EXPECT_EQ(t.capacity(), Tracer::kDefaultCapacity);
+}
+
+TEST(Trace, RingBufferWrapsOverwritingOldest) {
+  Tracer t(4);
+  t.set_enabled(true);
+  for (SimTime ts = 1; ts <= 6; ++ts) {
+    t.EmitInstant("sim", "tick", ts);
+  }
+  // Flight-recorder semantics: the newest 4 of 6 survive, oldest first.
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.capacity(), 4u);
+  EXPECT_EQ(t.dropped(), 2u);
+  const std::vector<TraceEvent> events = t.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start, static_cast<SimTime>(i + 3));
+  }
+
+  // Reserve discards the buffered events and resets the drop count.
+  t.Reserve(8);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Trace, ChromeExportGoldenAndRoundTrip) {
+  Tracer t(8);
+  t.set_enabled(true);
+  t.EmitSpan("grid", "glidein.acquire", 1000, 500, 7);
+  t.EmitInstant("hdfs", "datanode.dead", 2000, 3);
+  t.EmitCounter("mr", "trackers.live", 2500, 4.0);
+
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"grid\"}},\n"
+      "{\"pid\":1,\"tid\":7,\"ts\":1000,\"name\":\"glidein.acquire\","
+      "\"cat\":\"grid\",\"ph\":\"X\",\"dur\":500},\n"
+      "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"hdfs\"}},\n"
+      "{\"pid\":2,\"tid\":3,\"ts\":2000,\"name\":\"datanode.dead\","
+      "\"cat\":\"hdfs\",\"ph\":\"i\",\"s\":\"t\"},\n"
+      "{\"ph\":\"M\",\"pid\":3,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"mr\"}},\n"
+      "{\"pid\":3,\"tid\":0,\"ts\":2500,\"name\":\"trackers.live\","
+      "\"cat\":\"mr\",\"ph\":\"C\",\"args\":{\"value\":4}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(t.ExportChromeJson(), expected);
+
+  // The export must round-trip through the compare_bench JSON reader (in
+  // particular: no boolean literals, which it rejects).
+  const exp::JsonValue root = exp::ParseJson(t.ExportChromeJson());
+  const exp::JsonValue* rows = root.Find("traceEvents");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 6u);
+  const exp::JsonValue& span = rows->array[1];
+  EXPECT_EQ(span.Find("ph")->string, "X");
+  EXPECT_DOUBLE_EQ(span.Find("ts")->number, 1000.0);
+  EXPECT_DOUBLE_EQ(span.Find("dur")->number, 500.0);
+  const exp::JsonValue& counter = rows->array[5];
+  EXPECT_EQ(counter.Find("ph")->string, "C");
+  EXPECT_DOUBLE_EQ(counter.Find("args")->Find("value")->number, 4.0);
+}
+
+TEST(Trace, EmptyExportStillParses) {
+  Tracer t(4);
+  const exp::JsonValue root = exp::ParseJson(t.ExportChromeJson());
+  ASSERT_EQ(root.kind, exp::JsonValue::Kind::kObject);
+  EXPECT_TRUE(root.Find("traceEvents")->array.empty());
+}
+
+TEST(BenchPaths, PerRunOutPath) {
+  // A single run writes the requested path verbatim.
+  EXPECT_EQ(exp::PerRunOutPath("trace.json", "hog55", 11, true), "trace.json");
+  // Multi-run sweeps insert ".<config>.s<seed>" before the extension...
+  EXPECT_EQ(exp::PerRunOutPath("trace.json", "hog55", 11, false),
+            "trace.hog55.s11.json");
+  // ...or append when there is none.
+  EXPECT_EQ(exp::PerRunOutPath("out/trace", "cfg", 5, false),
+            "out/trace.cfg.s5");
+  // A '.' in a directory component is not an extension.
+  EXPECT_EQ(exp::PerRunOutPath("out.d/trace", "cfg", 5, false),
+            "out.d/trace.cfg.s5");
+  EXPECT_EQ(exp::PerRunOutPath("out.d/trace.json", "cfg", 5, false),
+            "out.d/trace.cfg.s5.json");
+}
+
+TEST(RunCapture, SimulationDeliversOnDestruction) {
+  RunCapture capture(/*want_metrics=*/true, /*want_trace=*/true);
+  EXPECT_EQ(RunCapture::Current(), &capture);
+  {
+    sim::Simulation sim;
+    EXPECT_TRUE(sim.obs().tracer().enabled());  // capture wants a trace
+    sim.ScheduleAt(10, [] {});
+    sim.RunAll();
+    sim.obs().tracer().EmitInstant("sim", "probe.test", sim.now());
+  }
+  ASSERT_TRUE(capture.delivered());
+  // The metrics snapshot carries the Simulation's self-registered probes.
+  const exp::JsonValue metrics = exp::ParseJson(capture.metrics_json());
+  bool saw_fired = false;
+  for (const exp::JsonValue& row : metrics.Find("metrics")->array) {
+    if (row.Find("name")->string == "sim.events.fired") {
+      saw_fired = true;
+      EXPECT_DOUBLE_EQ(row.Find("value")->number, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_fired);
+  const exp::JsonValue trace = exp::ParseJson(capture.trace_json());
+  EXPECT_FALSE(trace.Find("traceEvents")->array.empty());
+}
+
+TEST(RunCapture, FirstDeliveryWinsAndScopesNest) {
+  RunCapture outer(/*want_metrics=*/true, /*want_trace=*/false);
+  {
+    RunCapture inner(/*want_metrics=*/true, /*want_trace=*/false);
+    EXPECT_EQ(RunCapture::Current(), &inner);
+    Observability first;
+    first.metrics().GetCounter("who.won").Add(1);
+    inner.Deliver(first);
+    Observability second;
+    second.metrics().GetCounter("who.won").Add(2);
+    inner.Deliver(second);  // ignored: first delivery wins
+    EXPECT_TRUE(inner.delivered());
+    EXPECT_NE(inner.metrics_json().find("\"value\": 1"), std::string::npos);
+    // Tracing was not requested, so no trace JSON is produced.
+    EXPECT_TRUE(inner.trace_json().empty());
+  }
+  // The inner scope ended: the outer capture is current again and intact.
+  EXPECT_EQ(RunCapture::Current(), &outer);
+  EXPECT_FALSE(outer.delivered());
+}
+
+// End-to-end: a real HogCluster run under a capture must produce at least
+// one metric from each instrumented subsystem (sim, grid, hdfs, mr) and a
+// trace whose categories cover grid/hdfs/mr — the acceptance criterion for
+// --metrics-out / --trace-out.
+TEST(RunCapture, HogClusterEndToEnd) {
+  RunCapture capture(/*want_metrics=*/true, /*want_trace=*/true);
+  {
+    hog::HogConfig config;
+    config.sites = hog::DefaultOsgSites();
+    for (auto& site : config.sites) {
+      site.node_mtbf_s = 1e9;
+      site.burst_interval_s = 0;
+      site.queue_delay_mean_s = 30.0;
+    }
+    hog::HogCluster cluster(11, config);
+    cluster.RequestNodes(10);
+    ASSERT_TRUE(cluster.WaitForNodes(10, 4 * kHour));
+    // Let heartbeats flow for a while so hdfs/mr liveness metrics move.
+    cluster.sim().RunUntil(cluster.sim().now() + 5 * kMinute);
+  }
+  ASSERT_TRUE(capture.delivered());
+
+  const exp::JsonValue root = exp::ParseJson(capture.metrics_json());
+  double fired = 0, started = 0, heartbeats = 0, trackers = 0;
+  for (const exp::JsonValue& row : root.Find("metrics")->array) {
+    const std::string& name = row.Find("name")->string;
+    if (name == "sim.events.fired") fired = row.Find("value")->number;
+    if (name == "grid.glidein.started") started = row.Find("value")->number;
+    if (name == "hdfs.heartbeat.received") {
+      heartbeats = row.Find("value")->number;
+    }
+    if (name == "mr.trackers.live") trackers = row.Find("value")->number;
+  }
+  EXPECT_GT(fired, 0.0);
+  EXPECT_GE(started, 10.0);
+  EXPECT_GT(heartbeats, 0.0);
+  EXPECT_GE(trackers, 10.0);
+
+  const exp::JsonValue trace = exp::ParseJson(capture.trace_json());
+  std::set<std::string> categories;
+  std::set<std::string> phases;
+  for (const exp::JsonValue& row : trace.Find("traceEvents")->array) {
+    const exp::JsonValue* cat = row.Find("cat");
+    if (cat != nullptr) categories.insert(cat->string);
+    phases.insert(row.Find("ph")->string);
+  }
+  EXPECT_TRUE(categories.count("grid"));
+  EXPECT_TRUE(categories.count("hdfs"));
+  EXPECT_TRUE(categories.count("mr"));
+  EXPECT_TRUE(phases.count("X"));  // glidein.acquire spans
+  EXPECT_TRUE(phases.count("C"));  // nodes.running / datanodes.live levels
+}
+
+}  // namespace
+}  // namespace hogsim::obs
