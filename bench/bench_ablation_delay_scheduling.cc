@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -27,15 +27,16 @@ constexpr Case kCases[] = {
     {"rep 10, FIFO + delay 10 s", 10, 10 * kSecond},
 };
 
-exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
+exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast,
+                 const fault::Scenario& scenario) {
   hog::HogConfig config;
   config.replication = c.replication;
   config.mr.locality_wait_node = c.wait;
   config.mr.locality_wait_rack = c.wait;
   hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
-  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
-      !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
+  if (!cluster.WaitForNodes(60, exp::kSpinUpDeadline) &&
+      !cluster.WaitForNodes(57, cluster.sim().now() + exp::kSpinUpDeadline)) {
     return {{"response_s", 0.0}, {"local_frac", 0.0}, {"remote_input_gib", 0.0}};
   }
   Rng rng(seed);
@@ -45,8 +46,9 @@ exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
+  const auto chaos = exp::ArmScenario(cluster, scenario);
   runner.SubmitAll(schedule);
-  const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
+  const auto result = runner.Run(cluster.sim().now() + exp::kRunDeadline);
   long long local = 0, rack = 0, remote = 0;
   Bytes remote_input = 0;
   for (std::size_t j = 0; j < cluster.jobtracker().job_count(); ++j) {
@@ -70,6 +72,7 @@ exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
 int main(int argc, char** argv) {
   exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
   if (opts.fast) opts.seeds.resize(1);
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
 
   std::printf("Ablation: delay scheduling vs replication as locality levers "
               "(60-node HOG; %zu seed(s))\n\n", opts.seeds.size());
@@ -80,8 +83,8 @@ int main(int argc, char** argv) {
                         "rep10_delay10"};
   const bool fast = opts.fast;
   const exp::SweepResult sweep = exp::RunBenchSweep(
-      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
-        return Run(kCases[config], seed, fast);
+      opts, spec, [fast, &scenario](std::size_t config, std::uint64_t seed) {
+        return Run(kCases[config], seed, fast, scenario);
       });
 
   TextTable table({"scheduler", "response (s)", "node-local maps",

@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -25,13 +25,14 @@ constexpr Case kCases[] = {
     {"traditional (15 min)", 15 * kMinute},
 };
 
-exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
+exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast,
+                 const fault::Scenario& scenario) {
   hog::HogConfig config;
   config.heartbeat_recheck = c.recheck;
   hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
-  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
-      !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
+  if (!cluster.WaitForNodes(60, exp::kSpinUpDeadline) &&
+      !cluster.WaitForNodes(57, cluster.sim().now() + exp::kSpinUpDeadline)) {
     return {{"response_s", 0.0}, {"failed_jobs", 0.0}, {"maps_reexecuted", 0.0}};
   }
   Rng rng(seed);
@@ -41,8 +42,9 @@ exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
+  const auto chaos = exp::ArmScenario(cluster, scenario);
   runner.SubmitAll(schedule);
-  const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
+  const auto result = runner.Run(cluster.sim().now() + exp::kRunDeadline);
   return {{"response_s", result.response_time_s},
           {"failed_jobs", static_cast<double>(result.failed)},
           {"maps_reexecuted",
@@ -54,6 +56,7 @@ exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
 int main(int argc, char** argv) {
   exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
   if (opts.fast) opts.seeds.resize(1);
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
 
   std::printf("Ablation: failure-detection timeout under grid churn "
               "(§III.B; paper lowers ~15 min -> 30 s; %zu seed(s))\n\n",
@@ -64,8 +67,8 @@ int main(int argc, char** argv) {
   spec.config_labels = {"recheck_30s", "recheck_2min", "recheck_15min"};
   const bool fast = opts.fast;
   const exp::SweepResult sweep = exp::RunBenchSweep(
-      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
-        return Run(kCases[config], seed, fast);
+      opts, spec, [fast, &scenario](std::size_t config, std::uint64_t seed) {
+        return Run(kCases[config], seed, fast, scenario);
       });
 
   TextTable table({"recheck", "response (s)", "ci95", "failed jobs",

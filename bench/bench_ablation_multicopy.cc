@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -16,7 +16,8 @@ namespace {
 
 constexpr int kNodes = 240;
 
-exp::Metrics Run(int copies, std::uint64_t seed, bool fast) {
+exp::Metrics Run(int copies, std::uint64_t seed, bool fast,
+                 const fault::Scenario& scenario) {
   hog::HogConfig config;
   config.task_copies = copies;
   config.sites = hog::DefaultOsgSites();
@@ -30,7 +31,7 @@ exp::Metrics Run(int copies, std::uint64_t seed, bool fast) {
   // target (replacements sit in remote batch queues), so keep extra
   // pressure — standard GlideinWMS practice.
   cluster.RequestNodes(kNodes * 115 / 100);
-  if (!cluster.WaitForNodes(kNodes, bench::kSpinUpDeadline)) {
+  if (!cluster.WaitForNodes(kNodes, exp::kSpinUpDeadline)) {
     return {{"response_s", 0.0},
             {"mean_job_latency_s", 0.0},
             {"attempts", 0.0},
@@ -49,6 +50,7 @@ exp::Metrics Run(int copies, std::uint64_t seed, bool fast) {
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
+  const auto chaos = exp::ArmScenario(cluster, scenario);
   runner.SubmitAll(schedule);
   // Bounded deadline: a blacklist-wedged job should cap the run, not
   // stretch it to the global limit.
@@ -67,6 +69,7 @@ exp::Metrics Run(int copies, std::uint64_t seed, bool fast) {
 int main(int argc, char** argv) {
   exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
   if (opts.fast) opts.seeds.resize(1);
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
 
   std::printf("Ablation: multi-copy task execution on a volatile grid "
               "(§VI extension; N copies, fastest wins; %zu seed(s))\n",
@@ -78,8 +81,8 @@ int main(int argc, char** argv) {
   spec.config_labels = {"copies1", "copies2", "copies3"};
   const bool fast = opts.fast;
   const exp::SweepResult sweep = exp::RunBenchSweep(
-      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
-        return Run(static_cast<int>(config) + 1, seed, fast);
+      opts, spec, [fast, &scenario](std::size_t config, std::uint64_t seed) {
+        return Run(static_cast<int>(config) + 1, seed, fast, scenario);
       });
 
   TextTable table({"copies", "response (s)", "mean job latency (s)",

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -17,7 +17,8 @@ namespace {
 
 constexpr int kFactors[] = {2, 3, 10};
 
-exp::Metrics Run(int replication, std::uint64_t seed, bool fast) {
+exp::Metrics Run(int replication, std::uint64_t seed, bool fast,
+                 const fault::Scenario& scenario) {
   hog::HogConfig config;
   config.replication = replication;
   config.sites = hog::DefaultOsgSites();
@@ -28,8 +29,8 @@ exp::Metrics Run(int replication, std::uint64_t seed, bool fast) {
   }
   hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
-  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
-      !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
+  if (!cluster.WaitForNodes(60, exp::kSpinUpDeadline) &&
+      !cluster.WaitForNodes(57, cluster.sim().now() + exp::kSpinUpDeadline)) {
     return {{"response_s", 0.0},
             {"failed_jobs", 0.0},
             {"missing_blocks", 0.0},
@@ -43,8 +44,9 @@ exp::Metrics Run(int replication, std::uint64_t seed, bool fast) {
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
+  const auto chaos = exp::ArmScenario(cluster, scenario);
   runner.SubmitAll(schedule);
-  const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
+  const auto result = runner.Run(cluster.sim().now() + exp::kRunDeadline);
   return {{"response_s", result.response_time_s},
           {"failed_jobs", static_cast<double>(result.failed)},
           {"missing_blocks",
@@ -61,6 +63,7 @@ exp::Metrics Run(int replication, std::uint64_t seed, bool fast) {
 int main(int argc, char** argv) {
   exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
   if (opts.fast) opts.seeds.resize(1);
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
 
   std::printf("Ablation: HDFS replication factor under bursty preemption "
               "(§III.B.1; paper picks 10; %zu seed(s))\n\n",
@@ -71,8 +74,8 @@ int main(int argc, char** argv) {
   spec.config_labels = {"rep2", "rep3", "rep10"};
   const bool fast = opts.fast;
   const exp::SweepResult sweep = exp::RunBenchSweep(
-      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
-        return Run(kFactors[config], seed, fast);
+      opts, spec, [fast, &scenario](std::size_t config, std::uint64_t seed) {
+        return Run(kFactors[config], seed, fast, scenario);
       });
 
   TextTable table({"replication", "response (s)", "failed jobs",

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -27,14 +27,15 @@ constexpr Case kCases[] = {
     {"PKI worst-case: +20 ms, +25%", 20 * kMillisecond, 0.25},
 };
 
-exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
+exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast,
+                 const fault::Scenario& scenario) {
   hog::HogConfig config;
   config.net.crypto_latency = c.handshake;
   config.net.crypto_byte_overhead = c.overhead;
   hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
-  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline) &&
-      !cluster.WaitForNodes(57, cluster.sim().now() + bench::kSpinUpDeadline)) {
+  if (!cluster.WaitForNodes(60, exp::kSpinUpDeadline) &&
+      !cluster.WaitForNodes(57, cluster.sim().now() + exp::kSpinUpDeadline)) {
     return {{"response_s", 0.0}};
   }
   Rng rng(seed);
@@ -44,9 +45,10 @@ exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
+  const auto chaos = exp::ArmScenario(cluster, scenario);
   runner.SubmitAll(schedule);
   return {{"response_s",
-           runner.Run(cluster.sim().now() + bench::kRunDeadline)
+           runner.Run(cluster.sim().now() + exp::kRunDeadline)
                .response_time_s}};
 }
 
@@ -55,6 +57,7 @@ exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
 int main(int argc, char** argv) {
   exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
   if (opts.fast) opts.seeds.resize(1);
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
 
   std::printf("Ablation: §VI security — PKI-encrypted HTTP communication "
               "(60-node HOG; %zu seed(s))\n\n", opts.seeds.size());
@@ -64,8 +67,8 @@ int main(int argc, char** argv) {
   spec.config_labels = {"plain", "pki_moderate", "pki_worst"};
   const bool fast = opts.fast;
   const exp::SweepResult sweep = exp::RunBenchSweep(
-      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
-        return Run(kCases[config], seed, fast);
+      opts, spec, [fast, &scenario](std::size_t config, std::uint64_t seed) {
+        return Run(kCases[config], seed, fast, scenario);
       });
 
   const double baseline = sweep.summaries[0][0].stats.mean();

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -17,7 +17,8 @@ namespace {
 
 constexpr int kReplication = 4;
 
-exp::Metrics Run(bool site_aware, std::uint64_t seed, bool fast) {
+exp::Metrics Run(bool site_aware, std::uint64_t seed, bool fast,
+                 const fault::Scenario& scenario) {
   hog::HogConfig config;
   config.site_awareness = site_aware;
   config.replication = kReplication;
@@ -28,7 +29,7 @@ exp::Metrics Run(bool site_aware, std::uint64_t seed, bool fast) {
   }
   hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(60);
-  if (!cluster.WaitForNodes(60, bench::kSpinUpDeadline)) {
+  if (!cluster.WaitForNodes(60, exp::kSpinUpDeadline)) {
     return {{"response_s", 0.0},
             {"failed_jobs", 0.0},
             {"missing_blocks", 0.0},
@@ -43,13 +44,14 @@ exp::Metrics Run(bool site_aware, std::uint64_t seed, bool fast) {
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
+  const auto chaos = exp::ArmScenario(cluster, scenario);
   runner.SubmitAll(schedule);
   // Whole-site outage ("a core network component failure, or a large
   // power outage") 5 minutes into the workload.
   cluster.sim().ScheduleAfter(5 * kMinute, [&cluster] {
     cluster.grid().PreemptSiteFraction(0, 1.0);
   });
-  const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
+  const auto result = runner.Run(cluster.sim().now() + exp::kRunDeadline);
   long long data_local = 0, remote = 0;
   for (std::size_t j = 0; j < cluster.jobtracker().job_count(); ++j) {
     const auto& job = cluster.jobtracker().job(static_cast<mr::JobId>(j));
@@ -69,6 +71,7 @@ exp::Metrics Run(bool site_aware, std::uint64_t seed, bool fast) {
 int main(int argc, char** argv) {
   exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
   if (opts.fast) opts.seeds.resize(1);
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
 
   std::printf("Ablation: site awareness under a whole-site outage "
               "(§III.B.1; %zu seed(s))\n", opts.seeds.size());
@@ -80,8 +83,8 @@ int main(int argc, char** argv) {
   spec.config_labels = {"site_aware", "flat"};
   const bool fast = opts.fast;
   const exp::SweepResult sweep = exp::RunBenchSweep(
-      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
-        return Run(config == 0, seed, fast);
+      opts, spec, [fast, &scenario](std::size_t config, std::uint64_t seed) {
+        return Run(config == 0, seed, fast, scenario);
       });
 
   const char* names[] = {"hog-site-aware", "flat (topology-blind)"};

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -28,7 +28,8 @@ constexpr Case kCases[] = {
     {"roomy scratch disks (100 GiB)", 100 * kGiB},
 };
 
-exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
+exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast,
+                 const fault::Scenario& scenario) {
   hog::HogConfig config;
   config.sites = hog::DefaultOsgSites();
   for (auto& site : config.sites) {
@@ -38,7 +39,7 @@ exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
   }
   hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(40);
-  if (!cluster.WaitForNodes(40, bench::kSpinUpDeadline)) {
+  if (!cluster.WaitForNodes(40, exp::kSpinUpDeadline)) {
     return {{"response_s", 0.0},
             {"jobs_ok", 0.0},
             {"jobs_failed", 0.0},
@@ -57,11 +58,12 @@ exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
+  const auto chaos = exp::ArmScenario(cluster, scenario);
   runner.SubmitAll(schedule);
 
   // Track peak disk utilization across workers while running.
   double peak_disk_util = 0;
-  while (!runner.Done() && cluster.sim().now() < bench::kRunDeadline) {
+  while (!runner.Done() && cluster.sim().now() < exp::kRunDeadline) {
     cluster.sim().RunUntil(cluster.sim().now() + 30 * kSecond);
     for (auto id : cluster.grid().RunningNodeIds()) {
       const auto& disk = cluster.grid().node(id)->disk();
@@ -84,6 +86,7 @@ exp::Metrics Run(const Case& c, std::uint64_t seed, bool fast) {
 int main(int argc, char** argv) {
   exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
   if (opts.fast) opts.seeds.resize(1);
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
 
   std::printf("§IV.D.2: disk overflow from retained intermediate data\n");
   std::printf("(replication 10, 40 nodes, bins 1-5; Hadoop keeps map output "
@@ -94,8 +97,8 @@ int main(int argc, char** argv) {
   spec.config_labels = {"disk8gib", "disk100gib"};
   const bool fast = opts.fast;
   const exp::SweepResult sweep = exp::RunBenchSweep(
-      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
-        return Run(kCases[config], seed, fast);
+      opts, spec, [fast, &scenario](std::size_t config, std::uint64_t seed) {
+        return Run(kCases[config], seed, fast, scenario);
       });
 
   TextTable table({"configuration", "response (s)", "jobs ok", "jobs failed",

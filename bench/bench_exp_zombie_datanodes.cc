@@ -16,7 +16,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -36,7 +36,8 @@ constexpr Variant kVariants[] = {
     {"single process tree (fix 2)", 0.0, 3 * kMinute},
 };
 
-exp::Metrics Run(const Variant& variant, std::uint64_t seed, bool fast) {
+exp::Metrics Run(const Variant& variant, std::uint64_t seed, bool fast,
+                 const fault::Scenario& scenario) {
   hog::HogConfig config;
   config.grid.zombie_probability = variant.zombie_probability;
   config.disk_check_interval = variant.probe_interval;
@@ -47,7 +48,7 @@ exp::Metrics Run(const Variant& variant, std::uint64_t seed, bool fast) {
   }
   hog::HogCluster cluster(seed, config);
   cluster.RequestNodes(55);
-  if (!cluster.WaitForNodes(55, bench::kSpinUpDeadline)) {
+  if (!cluster.WaitForNodes(55, exp::kSpinUpDeadline)) {
     return {{"response_s", 0.0},
             {"failed_jobs", 0.0},
             {"attempts", 0.0},
@@ -62,6 +63,7 @@ exp::Metrics Run(const Variant& variant, std::uint64_t seed, bool fast) {
   workload::WorkloadRunner runner(cluster.sim(), cluster.jobtracker(),
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
+  const auto chaos = exp::ArmScenario(cluster, scenario);
   runner.SubmitAll(schedule);
   // The injected preemption schedule: identical across variants. Gentle
   // waves (20% of one site each) so the damage signal is the daemons'
@@ -74,7 +76,7 @@ exp::Metrics Run(const Variant& variant, std::uint64_t seed, bool fast) {
                                       0.2);
                                 });
   }
-  const auto result = runner.Run(cluster.sim().now() + bench::kRunDeadline);
+  const auto result = runner.Run(cluster.sim().now() + exp::kRunDeadline);
   return {{"response_s", result.response_time_s},
           {"failed_jobs", static_cast<double>(result.failed)},
           {"attempts",
@@ -90,6 +92,7 @@ exp::Metrics Run(const Variant& variant, std::uint64_t seed, bool fast) {
 int main(int argc, char** argv) {
   exp::BenchOptions opts = exp::ParseBenchOptions(argc, argv);
   if (opts.fast) opts.seeds.resize(1);
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
 
   std::printf("§IV.D.1: abandoned (zombie) datanodes\n");
   std::printf("(identical 6-wave preemption injection; only the daemons' "
@@ -100,8 +103,8 @@ int main(int argc, char** argv) {
   spec.config_labels = {"bug_no_probe", "probe_3min", "process_tree"};
   const bool fast = opts.fast;
   const exp::SweepResult sweep = exp::RunBenchSweep(
-      opts, spec, [fast](std::size_t config, std::uint64_t seed) {
-        return Run(kVariants[config], seed, fast);
+      opts, spec, [fast, &scenario](std::size_t config, std::uint64_t seed) {
+        return Run(kVariants[config], seed, fast, scenario);
       });
 
   TextTable table({"variant", "response (s)", "failed jobs",

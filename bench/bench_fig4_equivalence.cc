@@ -13,7 +13,7 @@
 #include <iostream>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
     opts.seeds.resize(1);
   }
 
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
+
   std::printf("Fig. 4: HOG vs. cluster equivalent performance\n");
   std::printf("(Facebook workload; %zu run(s) per point)\n\n",
               opts.seeds.size());
@@ -42,15 +44,16 @@ int main(int argc, char** argv) {
   }
   const exp::SweepResult sweep = exp::RunBenchSweep(
       opts, spec,
-      [&points](std::size_t config, std::uint64_t seed) -> exp::Metrics {
+      [&points, &scenario](std::size_t config,
+                           std::uint64_t seed) -> exp::Metrics {
         if (config == 0) {
-          const auto result = bench::RunClusterWorkload(seed);
+          const auto result = exp::RunClusterWorkload(seed);
           return {{"response_s", result.response_time_s},
                   {"preemptions", 0.0},
                   {"reached", 1.0}};
         }
         const int nodes = points[config - 1];
-        const auto result = bench::RunHogWorkload(nodes, seed);
+        const auto result = exp::RunHogWorkload(nodes, seed, {}, &scenario);
         // An unreached deployment target leaves the response unmeasurable;
         // NaN serializes as null and is excluded from the summaries.
         const double response = result.reached_target

@@ -12,7 +12,7 @@
 #include <iostream>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -33,7 +33,7 @@ hog::HogConfig UnstableGrid() {
   return config;
 }
 
-void PrintRun(char label, bool unstable, const bench::HogRunResult& result) {
+void PrintRun(char label, bool unstable, const exp::HogRunResult& result) {
   std::printf("\nFig. 5%c (%s): response %.0f s, area %.0f node-s, mean "
               "%.1f reported nodes, %llu preemptions\n",
               label, unstable ? "55 unstable nodes" : "55 stable nodes",
@@ -62,6 +62,8 @@ int main(int argc, char** argv) {
     opts.seeds = {opts.seeds.front(), opts.seeds.back()};
   }
 
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
+
   std::printf("Fig. 5: HOG node fluctuation (%zu 55-node executions)\n",
               opts.seeds.size());
   // Runs a, b, ...: default (stable-ish) grid with different seeds; the
@@ -74,14 +76,14 @@ int main(int argc, char** argv) {
   spec.configs = 1;
   spec.config_labels = {"hog55"};
   const std::vector<std::uint64_t>& seeds = opts.seeds;
-  std::vector<bench::HogRunResult> runs(seeds.size());
+  std::vector<exp::HogRunResult> runs(seeds.size());
   exp::RunBenchSweep(
       opts, spec, [&](std::size_t, std::uint64_t seed) -> exp::Metrics {
         std::size_t idx = 0;
         while (seeds[idx] != seed) ++idx;
         const bool unstable = idx + 1 == seeds.size();
-        runs[idx] = bench::RunHogWorkload(
-            55, seed, unstable ? UnstableGrid() : StableGrid());
+        runs[idx] = exp::RunHogWorkload(
+            55, seed, unstable ? UnstableGrid() : StableGrid(), &scenario);
         return {{"response_s", runs[idx].workload.response_time_s},
                 {"area_node_s", runs[idx].area_beneath_curve}};
       });

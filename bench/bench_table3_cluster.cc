@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/baseline/dedicated_cluster.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
   spec.config_labels = {"cluster100"};
   const exp::SweepResult sweep = exp::RunBenchSweep(
       opts, spec, [](std::size_t, std::uint64_t seed) -> exp::Metrics {
-        const auto result = bench::RunClusterWorkload(seed);
+        const auto result = exp::RunClusterWorkload(seed);
         return {{"response_s", result.response_time_s},
                 {"jobs_ok", static_cast<double>(result.succeeded)},
                 {"jobs_failed", static_cast<double>(result.failed)}};

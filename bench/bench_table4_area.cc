@@ -13,7 +13,7 @@
 #include <iostream>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "src/exp/paper_runs.h"
 #include "src/exp/bench_main.h"
 #include "src/util/table.h"
 
@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   if (opts.fast && opts.seeds.size() > 2) {
     opts.seeds = {opts.seeds.front(), opts.seeds.back()};
   }
+  const fault::Scenario scenario = exp::LoadBenchScenario(opts);
 
   std::printf("Table IV: area beneath the Fig. 5 node-availability curves\n\n");
 
@@ -42,14 +43,14 @@ int main(int argc, char** argv) {
   spec.configs = 1;
   spec.config_labels = {"hog55"};
   const std::vector<std::uint64_t>& seeds = opts.seeds;
-  std::vector<bench::HogRunResult> runs(seeds.size());
+  std::vector<exp::HogRunResult> runs(seeds.size());
   exp::RunBenchSweep(
       opts, spec, [&](std::size_t, std::uint64_t seed) -> exp::Metrics {
         std::size_t idx = 0;
         while (seeds[idx] != seed) ++idx;
         auto run = idx + 1 == seeds.size()
-                       ? bench::RunHogWorkload(55, seed, unstable)
-                       : bench::RunHogWorkload(55, seed);
+                       ? exp::RunHogWorkload(55, seed, unstable, &scenario)
+                       : exp::RunHogWorkload(55, seed, {}, &scenario);
         exp::Metrics metrics = {
             {"response_s", run.workload.response_time_s},
             {"area_node_s", run.area_beneath_curve},

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: check docs links, then configure + build both CMake presets
 # (default and ASan/UBSan) and run the tier1-labelled tests under each —
-# which includes the obs tests (tests/obs_test.cc) in both builds. This is
-# what a PR must keep green; see ROADMAP.md ("tier-1 tests").
+# which includes the obs tests (tests/obs_test.cc) in both builds — plus a
+# fault-scenario smoke leg (bench_scenario_storm under a committed
+# scenario, which also proves the examples compiled). This is what a PR
+# must keep green; see ROADMAP.md ("tier-1 tests").
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   default preset only (skip the sanitizer build)
@@ -30,6 +32,19 @@ run_preset() {
   cmake --build --preset "$preset" -j "$jobs"
   echo "== [$preset] tier-1 tests =="
   ctest --test-dir "$dir" -L tier1 --output-on-failure -j "$jobs"
+  echo "== [$preset] scenario smoke =="
+  # One fast chaos run through a committed scenario: the parser, the
+  # injector, and every layer hook execute end to end.
+  "$dir/bench/bench_scenario_storm" --fast \
+    --scenario=scenarios/site_storm.txt --out="$dir/BENCH_scenario_storm.json"
+  echo "== [$preset] examples present =="
+  # The example binaries are part of the build graph; a missing one means
+  # a source file was dropped without updating the examples.
+  for example in quickstart facebook_workload elastic_scaling chaos_drill \
+                 zombie_datanodes; do
+    test -x "$dir/examples/example_$example" \
+      || { echo "missing example_$example" >&2; exit 1; }
+  done
 }
 
 run_preset default build

@@ -17,7 +17,7 @@ namespace {
   std::fprintf(
       status == 0 ? stdout : stderr,
       "usage: %s [--seeds=LIST|COUNT] [--threads=N] [--out=PATH] [--fast]\n"
-      "          [--metrics-out=PATH] [--trace-out=PATH]\n"
+      "          [--metrics-out=PATH] [--trace-out=PATH] [--scenario=PATH]\n"
       "  --seeds=11,23,47  explicit seed list\n"
       "  --seeds=5         first 5 seeds of the default progression\n"
       "  --threads=N       sweep pool width (0 = hardware concurrency)\n"
@@ -25,7 +25,9 @@ namespace {
       "  --fast            trimmed smoke run (HOGSIM_FAST=1 equivalent)\n"
       "  --metrics-out=PATH  per-run metrics snapshot JSON\n"
       "  --trace-out=PATH    per-run Chrome trace JSON (chrome://tracing)\n"
-      "                      (multi-run sweeps insert .<config>.s<seed>)\n",
+      "                      (multi-run sweeps insert .<config>.s<seed>)\n"
+      "  --scenario=PATH     fault scenario file (.trace = preemption\n"
+      "                      trace) injected into every run of the sweep\n",
       prog);
   std::exit(status);
 }
@@ -125,11 +127,26 @@ BenchOptions ParseBenchOptions(int argc, char* const* argv,
       opts.trace_out = std::string(value);
       continue;
     }
+    if (eat("--scenario=", value)) {
+      if (value.empty()) Usage(prog, 2);
+      opts.scenario = std::string(value);
+      continue;
+    }
     std::fprintf(stderr, "%s: unknown argument '%s'\n", prog,
                  std::string(arg).c_str());
     Usage(prog, 2);
   }
   return opts;
+}
+
+fault::Scenario LoadBenchScenario(const BenchOptions& opts) {
+  if (opts.scenario.empty()) return {};
+  try {
+    return fault::LoadScenarioFile(opts.scenario);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad --scenario: %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 std::string PerRunOutPath(const std::string& base, std::string_view config,

@@ -11,6 +11,10 @@
 //   --fast             trim the run for smoke testing (HOGSIM_FAST=1 too)
 //   --metrics-out=PATH per-run obs::MetricsRegistry snapshot JSON
 //   --trace-out=PATH   per-run Chrome trace-event JSON (chrome://tracing)
+//   --scenario=PATH    fault scenario (or .trace preemption trace) injected
+//                      into every run of the sweep (see src/fault and
+//                      EXPERIMENTS.md). Per-config and seed-independent:
+//                      the same faults hit every (config, seed) run.
 //
 // The obs flags produce one file per (config, seed) run: with a single run
 // the path is used verbatim; with several, ".<config>.s<seed>" is inserted
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "src/exp/sweep.h"
+#include "src/fault/scenario.h"
 
 namespace hogsim::exp {
 
@@ -45,6 +50,10 @@ struct BenchOptions {
   /// Per-run Chrome trace path ("" = disabled); same suffix rule. Enables
   /// the sim-time tracer for every Simulation built inside the run.
   std::string trace_out;
+  /// Fault-scenario path ("" = no injection). Loaded once per process by
+  /// LoadBenchScenario; runs arm it on their own Simulation, so sweeps
+  /// stay deterministic and thread-count independent.
+  std::string scenario;
 };
 
 /// The per-run output path for --metrics-out/--trace-out: `base` verbatim
@@ -63,6 +72,12 @@ std::vector<std::uint64_t> DefaultSeeds(std::size_t count);
 /// environment sets `fast` exactly like --fast.
 BenchOptions ParseBenchOptions(int argc, char* const* argv,
                                BenchOptions defaults = {});
+
+/// Loads opts.scenario; an empty path yields an empty Scenario. Unreadable
+/// files and parse errors print the "<path>:<line>:<col>: ..." diagnostic
+/// and exit with status 2 — a broken scenario file should fail the bench
+/// up front, not mid-sweep.
+fault::Scenario LoadBenchScenario(const BenchOptions& opts);
 
 /// Applies `opts` to `spec` (seeds and threads — visible to the caller
 /// afterwards, e.g. for per-seed tables), runs the sweep, writes the

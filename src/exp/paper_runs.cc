@@ -1,43 +1,17 @@
-// Shared harness code for the paper-reproduction benches: spins up a HOG
-// deployment or the Table III cluster, replays the Facebook workload, and
-// returns the paper's metrics.
-#pragma once
+#include "src/exp/paper_runs.h"
 
-#include <string>
+#include <memory>
 #include <utility>
 
 #include "src/baseline/dedicated_cluster.h"
-#include "src/hog/hog_cluster.h"
-#include "src/util/stats.h"
+#include "src/fault/injector.h"
 #include "src/workload/facebook.h"
-#include "src/workload/runner.h"
 
-namespace hogsim::bench {
+namespace hogsim::exp {
 
-constexpr SimTime kSpinUpDeadline = 4 * kHour;
-constexpr SimTime kRunDeadline = 12 * kHour;
-
-/// Seeds for the paper's "3 runs at each sampling point".
-constexpr std::uint64_t kSeeds[] = {11, 23, 47};
-
-struct HogRunResult {
-  bool reached_target = false;
-  int nodes_at_start = 0;
-  workload::WorkloadResult workload;
-  double area_beneath_curve = 0;  // Table IV metric (node-seconds)
-  double mean_reported_nodes = 0;
-  std::uint64_t preemptions = 0;
-  std::uint64_t maps_reexecuted = 0;
-  StepSeries reported_nodes;  // Fig. 5 trace over the workload window
-  SimTime window_start = 0;
-  SimTime window_end = 0;
-};
-
-/// Runs the full 88-job Facebook workload on a HOG deployment of
-/// `max_nodes` glideins: wait for the configured maximum (falling back to
-/// 95% under churn, as an operator would), then replay the schedule.
-inline HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
-                                   hog::HogConfig config = {}) {
+HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
+                            hog::HogConfig config,
+                            const fault::Scenario* scenario) {
   HogRunResult result;
   hog::HogCluster cluster(seed, std::move(config));
   cluster.RequestNodes(max_nodes);
@@ -55,6 +29,13 @@ inline HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
                                   cluster.namenode(), wl);
   runner.PrepareInputs(schedule);
   cluster.StartAvailabilityTrace();
+
+  // Arm the chaos scenario at workload start: its times are relative to
+  // this instant, and it draws no run RNG, so every seed of a sweep sees
+  // the same faults at the same workload-relative moments.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (scenario != nullptr) injector = ArmScenario(cluster, *scenario);
+
   const std::uint64_t preempt_before = cluster.grid().preemptions();
   result.window_start = cluster.sim().now();
   runner.SubmitAll(schedule);
@@ -63,6 +44,7 @@ inline HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
       result.window_start + FromSeconds(result.workload.response_time_s);
   result.preemptions = cluster.grid().preemptions() - preempt_before;
   result.maps_reexecuted = cluster.jobtracker().maps_reexecuted();
+  if (injector != nullptr) result.faults_injected = injector->injected();
   result.reported_nodes = cluster.reported_nodes();
   result.area_beneath_curve = cluster.reported_nodes().AreaUnder(
       result.window_start, result.window_end);
@@ -71,8 +53,19 @@ inline HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
   return result;
 }
 
-/// Runs the workload on the dedicated Table III cluster.
-inline workload::WorkloadResult RunClusterWorkload(std::uint64_t seed) {
+std::unique_ptr<fault::FaultInjector> ArmScenario(
+    hog::HogCluster& cluster, const fault::Scenario& scenario) {
+  if (scenario.empty()) return nullptr;
+  auto injector = std::make_unique<fault::FaultInjector>(
+      cluster.sim(),
+      fault::InjectorTargets{&cluster.grid(), &cluster.network(),
+                             &cluster.namenode(), &cluster.jobtracker()},
+      scenario);
+  injector->Arm();
+  return injector;
+}
+
+workload::WorkloadResult RunClusterWorkload(std::uint64_t seed) {
   baseline::DedicatedCluster cluster(seed);
   Rng rng(seed);
   workload::WorkloadConfig wl;
@@ -84,4 +77,4 @@ inline workload::WorkloadResult RunClusterWorkload(std::uint64_t seed) {
   return runner.Run(kRunDeadline);
 }
 
-}  // namespace hogsim::bench
+}  // namespace hogsim::exp

@@ -1,0 +1,59 @@
+// Shared harness for the paper-reproduction benches (hogsim::exp): spins
+// up a HOG deployment or the Table III dedicated cluster, replays the
+// 88-job Facebook workload, and returns the paper's metrics. Optionally
+// arms a fault scenario (src/fault) once the cluster has spun up, so
+// scenario times are workload-relative and identical across sweep seeds.
+//
+// This lives in src/exp (not bench/) so examples and tests can drive the
+// same runs the benches measure; it replaced bench/bench_util.h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/fault/injector.h"
+#include "src/fault/scenario.h"
+#include "src/hog/hog_cluster.h"
+#include "src/util/stats.h"
+#include "src/workload/runner.h"
+
+namespace hogsim::exp {
+
+constexpr SimTime kSpinUpDeadline = 4 * kHour;
+constexpr SimTime kRunDeadline = 12 * kHour;
+
+struct HogRunResult {
+  bool reached_target = false;
+  int nodes_at_start = 0;
+  workload::WorkloadResult workload;
+  double area_beneath_curve = 0;  // Table IV metric (node-seconds)
+  double mean_reported_nodes = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t maps_reexecuted = 0;
+  std::uint64_t faults_injected = 0;  // scenario actions applied (if any)
+  StepSeries reported_nodes;  // Fig. 5 trace over the workload window
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+};
+
+/// Runs the full 88-job Facebook workload on a HOG deployment of
+/// `max_nodes` glideins: wait for the configured maximum (falling back to
+/// 95% under churn, as an operator would), then replay the schedule. When
+/// `scenario` is non-null and non-empty, a FaultInjector arms it at
+/// workload start (right before submission), so `at 600s` in a scenario
+/// file means ten minutes into the measured window.
+HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
+                            hog::HogConfig config = {},
+                            const fault::Scenario* scenario = nullptr);
+
+/// Runs the workload on the dedicated Table III cluster.
+workload::WorkloadResult RunClusterWorkload(std::uint64_t seed);
+
+/// Arms `scenario` against a spun-up HOG cluster (all four layers as
+/// targets) and returns the injector that keeps it scheduled — hold it for
+/// the lifetime of the run. Returns nullptr for an empty scenario, so
+/// benches can thread --scenario through unconditionally.
+std::unique_ptr<fault::FaultInjector> ArmScenario(
+    hog::HogCluster& cluster, const fault::Scenario& scenario);
+
+}  // namespace hogsim::exp

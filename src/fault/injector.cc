@@ -1,0 +1,251 @@
+#include "src/fault/injector.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/grid/grid.h"
+#include "src/hdfs/namenode.h"
+#include "src/mapreduce/jobtracker.h"
+#include "src/net/flow_network.h"
+#include "src/util/log.h"
+
+namespace hogsim::fault {
+
+namespace {
+
+// Per-directive counter names, indexed by ActionKind. Static strings:
+// instrument handles and trace records keep the pointers.
+constexpr const char* kCounterNames[] = {
+    "fault.preempt_nodes.injected",
+    "fault.preempt_site.injected",
+    "fault.zombify.injected",
+    "fault.freeze_acquisition.injected",
+    "fault.throttle_acquisition.injected",
+    "fault.degrade_uplink.injected",
+    "fault.partition.injected",
+    "fault.shrink_disks.injected",
+    "fault.fill_disks.injected",
+    "fault.namenode_blackout.injected",
+    "fault.jobtracker_blackout.injected",
+};
+constexpr std::size_t kKindCount =
+    sizeof(kCounterNames) / sizeof(kCounterNames[0]);
+
+/// Resolves a site selector against the grid; false = out of range.
+template <typename Fn>
+bool ForEachSite(const grid::Grid& grid, int site, Fn&& fn) {
+  const auto count = grid.site_count();
+  if (site == kAllSites) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return true;
+  }
+  if (site < 0 || static_cast<std::size_t>(site) >= count) return false;
+  fn(static_cast<std::size_t>(site));
+  return true;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulation& sim, InjectorTargets targets,
+                             Scenario scenario)
+    : sim_(sim),
+      targets_(targets),
+      scenario_(std::move(scenario)),
+      total_counter_(
+          sim.obs().metrics().GetCounter("fault.actions.injected")) {
+  static_assert(kKindCount ==
+                    static_cast<std::size_t>(ActionKind::kJobtrackerBlackout) +
+                        1,
+                "counter table out of sync with ActionKind");
+  kind_counters_.reserve(kKindCount);
+  for (const char* name : kCounterNames) {
+    kind_counters_.push_back(&sim.obs().metrics().GetCounter(name));
+  }
+}
+
+void FaultInjector::Arm() {
+  assert(!armed_);
+  armed_ = true;
+  origin_ = sim_.now();
+  events_.assign(scenario_.actions.size(), {});
+  for (std::size_t i = 0; i < scenario_.actions.size(); ++i) {
+    Schedule(i, scenario_.actions[i].at);
+  }
+  HOG_LOG(kInfo, sim_.now(), "fault")
+      << "armed scenario " << scenario_.name << " ("
+      << scenario_.actions.size() << " actions)";
+}
+
+void FaultInjector::Disarm() {
+  for (sim::EventHandle& e : events_) sim_.Cancel(e);
+  for (sim::EventHandle& e : restore_events_) sim_.Cancel(e);
+  events_.clear();
+  restore_events_.clear();
+  armed_ = false;
+}
+
+void FaultInjector::Schedule(std::size_t index, SimTime rel) {
+  events_[index] = sim_.ScheduleAt(origin_ + rel,
+                                   [this, index, rel] { Fire(index, rel); });
+}
+
+void FaultInjector::Fire(std::size_t index, SimTime rel) {
+  const TimedAction& timed = scenario_.actions[index];
+  Apply(timed.action);
+  if (timed.period > 0) {
+    const SimTime next = rel + timed.period;
+    if (timed.until == 0 || next <= timed.until) Schedule(index, next);
+  }
+}
+
+void FaultInjector::Apply(const Action& action) {
+  bool ok = false;
+  switch (action.kind) {
+    case ActionKind::kPreemptNodes:
+    case ActionKind::kPreemptSite:
+    case ActionKind::kZombify:
+    case ActionKind::kFreezeAcquisition:
+    case ActionKind::kThrottleAcquisition:
+      ok = ApplyGrid(action);
+      break;
+    case ActionKind::kDegradeUplink:
+    case ActionKind::kPartition:
+      ok = ApplyNet(action);
+      break;
+    case ActionKind::kShrinkDisks:
+    case ActionKind::kFillDisks:
+      ok = ApplyDisks(action);
+      break;
+    case ActionKind::kNamenodeBlackout:
+    case ActionKind::kJobtrackerBlackout:
+      ok = ApplyDaemons(action);
+      break;
+  }
+  if (!ok) {
+    ++skipped_;
+    HOG_LOG(kWarn, sim_.now(), "fault")
+        << "skipped " << ActionName(action.kind)
+        << " (missing target layer or bad site " << action.site << ")";
+    return;
+  }
+  ++injected_;
+  total_counter_.Add();
+  kind_counters_[static_cast<std::size_t>(action.kind)]->Add();
+  sim_.obs().tracer().EmitInstant(
+      "fault", ActionName(action.kind).data(), sim_.now(),
+      action.site >= 0 ? static_cast<std::uint64_t>(action.site) : 0);
+  HOG_LOG(kInfo, sim_.now(), "fault") << "injected "
+                                      << ActionName(action.kind);
+}
+
+bool FaultInjector::ApplyGrid(const Action& action) {
+  grid::Grid* g = targets_.grid;
+  if (g == nullptr) return false;
+  return ForEachSite(*g, action.site, [&](std::size_t site) {
+    switch (action.kind) {
+      case ActionKind::kPreemptNodes:
+        g->PreemptNodes(site, static_cast<int>(action.value));
+        break;
+      case ActionKind::kZombify:
+        g->PreemptNodes(site, static_cast<int>(action.value),
+                        grid::ZombieMode::kAlways);
+        break;
+      case ActionKind::kPreemptSite:
+        g->PreemptSiteFraction(site, action.value);
+        break;
+      case ActionKind::kFreezeAcquisition:
+        g->FreezeAcquisition(site, action.duration);
+        break;
+      case ActionKind::kThrottleAcquisition:
+        g->SetAcquisitionDelayFactor(site, action.value);
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+bool FaultInjector::ApplyNet(const Action& action) {
+  if (targets_.net == nullptr || targets_.grid == nullptr) return false;
+  grid::Grid& g = *targets_.grid;
+  net::FlowNetwork& net = *targets_.net;
+  const auto count = g.site_count();
+
+  if (action.kind == ActionKind::kPartition) {
+    if (action.site < 0 || static_cast<std::size_t>(action.site) >= count ||
+        action.site_b < 0 ||
+        static_cast<std::size_t>(action.site_b) >= count) {
+      return false;
+    }
+    const net::SiteId a = g.net_site(static_cast<std::size_t>(action.site));
+    const net::SiteId b = g.net_site(static_cast<std::size_t>(action.site_b));
+    net.SetSitePartition(a, b, true);
+    restore_events_.push_back(
+        sim_.ScheduleAfter(action.duration, [this, a, b] {
+          targets_.net->SetSitePartition(a, b, false);
+          sim_.obs().tracer().EmitInstant("fault", "partition.heal",
+                                          sim_.now(), a);
+        }));
+    return true;
+  }
+
+  // degrade-uplink: scale relative to the site's *configured* uplink, so
+  // repeated degradations do not compound and the optional restore returns
+  // to the nominal rate.
+  return ForEachSite(g, action.site, [&](std::size_t site) {
+    const net::SiteId ns = g.net_site(site);
+    const Rate nominal = g.site_config(site).uplink;
+    net.SetSiteUplink(ns, nominal * action.value);
+    if (action.duration > 0) {
+      restore_events_.push_back(
+          sim_.ScheduleAfter(action.duration, [this, ns, nominal] {
+            targets_.net->SetSiteUplink(ns, nominal);
+            sim_.obs().tracer().EmitInstant("fault", "uplink.restore",
+                                            sim_.now(), ns);
+          }));
+    }
+  });
+}
+
+bool FaultInjector::ApplyDisks(const Action& action) {
+  grid::Grid* g = targets_.grid;
+  if (g == nullptr) return false;
+  return ForEachSite(*g, action.site, [&](std::size_t site) {
+    for (grid::GridNodeId id = 0; id < g->total_leases(); ++id) {
+      grid::GridNode* node = g->node(id);
+      if (node == nullptr || node->site_index() != site ||
+          !node->processes_alive()) {
+        continue;
+      }
+      storage::Disk& disk = node->disk();
+      if (action.kind == ActionKind::kShrinkDisks) {
+        disk.SetCapacity(static_cast<Bytes>(
+            std::llround(static_cast<double>(disk.capacity()) *
+                         action.value)));
+      } else {
+        // fill-disks: bring the disk up to `value` of its capacity full,
+        // as if the host's own workload ate the scratch space.
+        const auto want = static_cast<Bytes>(std::llround(
+            static_cast<double>(disk.capacity()) * action.value));
+        if (want > disk.used()) (void)disk.Reserve(want - disk.used());
+      }
+    }
+  });
+}
+
+bool FaultInjector::ApplyDaemons(const Action& action) {
+  if (action.kind == ActionKind::kNamenodeBlackout) {
+    if (targets_.namenode == nullptr) return false;
+    targets_.namenode->Crash();
+    restore_events_.push_back(sim_.ScheduleAfter(
+        action.duration, [this] { targets_.namenode->Restart(); }));
+  } else {
+    if (targets_.jobtracker == nullptr) return false;
+    targets_.jobtracker->Crash();
+    restore_events_.push_back(sim_.ScheduleAfter(
+        action.duration, [this] { targets_.jobtracker->Restart(); }));
+  }
+  return true;
+}
+
+}  // namespace hogsim::fault

@@ -1,0 +1,128 @@
+// Declarative chaos scenarios (hogsim::fault).
+//
+// A Scenario is an ordered list of timed failure actions — the declarative
+// front end of the fault-injection subsystem (see injector.h for the engine
+// that drives them into the live layers). Scenarios come from two sources:
+//
+//  1. Scenario files: a small line-oriented language, one directive per
+//     line, `#` comments:
+//
+//        at <time> <action> <args...>
+//        every <period> [until <time>] <action> <args...>
+//
+//     Times and durations are `<number><unit>` with unit one of
+//     us/ms/s/m/h; a bare number means seconds. `at` fires once, `every`
+//     recurs each period (first firing after one full period), optionally
+//     stopping at `until`. All times are relative to the moment the
+//     scenario is armed (FaultInjector::Arm), so the same file drives a
+//     spin-up drill or a mid-workload storm depending on when it is armed.
+//
+//  2. Preemption traces: empirical OSG-style churn records
+//     (`timestamp_s site node_count`, cf. Zhang et al.'s OSG preemption
+//     mining, arXiv:1807.06639) replayed verbatim as preempt-nodes
+//     actions — ParsePreemptionTrace converts a trace into a Scenario.
+//
+// The grammar is deliberately tiny and fully round-trippable:
+// FormatScenario renders the canonical text form and
+// ParseScenario(FormatScenario(s)) reproduces `s` exactly (golden tests in
+// tests/fault_test.cc rely on this).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hogsim::fault {
+
+/// Every failure the injector knows how to inject. One-to-one with the
+/// scenario-file directive names (ActionName below).
+enum class ActionKind {
+  kPreemptNodes,        ///< preempt-nodes SITE COUNT — clean site preempt
+  kPreemptSite,         ///< preempt-site SITE FRACTION — correlated burst
+  kZombify,             ///< zombify SITE COUNT — forced §IV.D.1 zombies
+  kFreezeAcquisition,   ///< freeze-acquisition SITE DURATION
+  kThrottleAcquisition, ///< throttle-acquisition SITE FACTOR
+  kDegradeUplink,       ///< degrade-uplink SITE FACTOR [DURATION]
+  kPartition,           ///< partition SITE_A SITE_B DURATION
+  kShrinkDisks,         ///< shrink-disks SITE FACTOR
+  kFillDisks,           ///< fill-disks SITE FRACTION
+  kNamenodeBlackout,    ///< namenode-blackout DURATION
+  kJobtrackerBlackout,  ///< jobtracker-blackout DURATION
+};
+
+/// The scenario-file directive name for a kind ("preempt-site", ...).
+std::string_view ActionName(ActionKind kind);
+
+/// Site selector meaning "every site" (the literal `all` in files).
+constexpr int kAllSites = -1;
+
+/// One failure to inject. Which fields are meaningful depends on `kind`;
+/// the parser guarantees the invariants documented per field.
+struct Action {
+  ActionKind kind = ActionKind::kPreemptNodes;
+  /// Grid-site index, or kAllSites. Partition: the first site (never
+  /// kAllSites).
+  int site = kAllSites;
+  /// Partition only: the second site (never kAllSites, != site).
+  int site_b = kAllSites;
+  /// COUNT (integral, >= 1), FRACTION (in [0,1]) or FACTOR (> 0),
+  /// depending on the kind. Unused kinds leave it 0.
+  double value = 0;
+  /// DURATION operand; > 0 where the grammar requires one, 0 where the
+  /// kind takes none (degrade-uplink: 0 = permanent).
+  SimDuration duration = 0;
+};
+
+/// One scheduled injection.
+struct TimedAction {
+  SimTime at = 0;          ///< arm-relative firing time (`at` / first period)
+  SimDuration period = 0;  ///< > 0: recurring every `period` ticks
+  SimTime until = 0;       ///< recurring only: stop after this time (0 = never)
+  Action action;
+  int line = 0;            ///< 1-based source line (diagnostics)
+};
+
+struct Scenario {
+  std::string name = "<scenario>";  ///< source path or label, for messages
+  std::vector<TimedAction> actions;
+
+  bool empty() const { return actions.empty(); }
+};
+
+/// Parse failure, with the precise source position of the offending token.
+class ScenarioError : public std::runtime_error {
+ public:
+  ScenarioError(std::string_view source, int line, int column,
+                const std::string& message);
+
+  int line() const { return line_; }      ///< 1-based
+  int column() const { return column_; }  ///< 1-based
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Parses scenario text. Throws ScenarioError (message prefixed
+/// "<source>:<line>:<col>:") on the first malformed directive.
+Scenario ParseScenario(std::string_view text,
+                       std::string_view source = "<scenario>");
+
+/// Canonical text form; ParseScenario round-trips it exactly.
+std::string FormatScenario(const Scenario& scenario);
+
+/// Parses an OSG-style preemption trace: one `timestamp_s site node_count`
+/// record per line (`#` comments), replayed as preempt-nodes actions.
+/// Throws ScenarioError on malformed records.
+Scenario ParsePreemptionTrace(std::string_view text,
+                              std::string_view source = "<trace>");
+
+/// Reads `path` and parses it — as a preemption trace when the filename
+/// ends in ".trace", as scenario text otherwise. Throws std::runtime_error
+/// if the file cannot be read, ScenarioError on parse failure.
+Scenario LoadScenarioFile(const std::string& path);
+
+}  // namespace hogsim::fault

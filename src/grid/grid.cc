@@ -60,6 +60,7 @@ std::size_t Grid::PickSite() {
   double total = 0.0;
   for (std::size_t i = 0; i < sites_.size(); ++i) {
     if (!site_allowed_[i]) continue;
+    if (sites_[i].frozen_until > sim_.now()) continue;  // injector freeze
     const int free = sites_[i].config.pool_size - sites_[i].active;
     if (free > 0) {
       weights[i] = static_cast<double>(free);
@@ -91,7 +92,7 @@ void Grid::Reconcile() {
       }
     }
     if (victim == kInvalidGridNode) break;
-    Preempt(victim, /*allow_zombie=*/false);
+    Preempt(victim, ZombieMode::kNever);
   }
   // Grow: submit new glideins while sites have capacity.
   while (active_leases_ < target_) {
@@ -123,7 +124,8 @@ void Grid::SubmitGlidein() {
   ins_.glidein_submitted.Add();
   node.submitted_at_ = sim_.now();
 
-  const double wait = site.rng.Exponential(site.config.queue_delay_mean_s);
+  const double wait = site.rng.Exponential(site.config.queue_delay_mean_s) *
+                      site.queue_delay_factor;
   node.lifetime_event_ = sim_.ScheduleAfter(
       FromSeconds(wait), [this, id] { StartGlidein(id); });
 }
@@ -131,8 +133,15 @@ void Grid::SubmitGlidein() {
 void Grid::StartGlidein(GridNodeId id) {
   GridNode& node = *nodes_[id];
   if (node.state_ != NodeState::kQueued) return;
-  node.state_ = NodeState::kStarting;
   Site& site = sites_[node.site_index_];
+  if (site.frozen_until > sim_.now()) {
+    // Acquisition is frozen: the batch system holds the glidein until the
+    // freeze lifts, then it starts immediately (it already waited).
+    node.lifetime_event_ = sim_.ScheduleAt(site.frozen_until,
+                                           [this, id] { StartGlidein(id); });
+    return;
+  }
+  node.state_ = NodeState::kStarting;
 
   // Wrapper step 1: initialize the OSG operating environment, then step
   // 2-3: download and extract the 75 MB worker package from the central
@@ -177,10 +186,11 @@ void Grid::SchedulePreemption(GridNodeId id) {
   Site& site = sites_[node.site_index_];
   const double lifetime = site.rng.Exponential(site.config.node_mtbf_s);
   node.lifetime_event_ = sim_.ScheduleAfter(
-      FromSeconds(lifetime), [this, id] { Preempt(id, /*allow_zombie=*/true); });
+      FromSeconds(lifetime),
+      [this, id] { Preempt(id, ZombieMode::kSiteDefault); });
 }
 
-void Grid::Preempt(GridNodeId id, bool allow_zombie) {
+void Grid::Preempt(GridNodeId id, ZombieMode mode) {
   GridNode& node = *nodes_[id];
   if (node.state_ == NodeState::kDead || node.state_ == NodeState::kZombie) {
     return;
@@ -200,8 +210,9 @@ void Grid::Preempt(GridNodeId id, bool allow_zombie) {
                                     running_);
   }
 
-  const bool zombie = was_running && allow_zombie &&
-                      rng_.Chance(config_.zombie_probability);
+  const bool zombie =
+      was_running && mode != ZombieMode::kNever &&
+      (mode == ZombieMode::kAlways || rng_.Chance(config_.zombie_probability));
   if (zombie) {
     // The site killed the wrapper and deleted its working directory, but
     // the double-forked daemons escaped the process tree (§IV.D.1).
@@ -255,34 +266,76 @@ void Grid::ArmBurst(std::size_t site_index) {
   });
 }
 
-void Grid::PreemptSiteFraction(std::size_t site_index, double fraction) {
+int Grid::PreemptSiteFraction(std::size_t site_index, double fraction) {
   assert(site_index < sites_.size());
-  fraction = std::clamp(fraction, 0.0, 1.0);
+  if (!(fraction > 0.0)) return 0;  // also rejects NaN
+  fraction = std::min(fraction, 1.0);
   std::vector<GridNodeId> victims;
   for (const auto& n : nodes_) {
     if (n->state_ == NodeState::kRunning && n->site_index_ == site_index) {
       victims.push_back(n->id());
     }
   }
-  const auto count = static_cast<std::size_t>(
-      std::llround(fraction * static_cast<double>(victims.size())));
+  if (victims.empty()) return 0;
+  // Round to nearest, but a positive fraction always claims at least one
+  // node: a burst at a 4-node site with fraction 0.1 is an eviction, not a
+  // no-op (the old llround-only behavior made small sites burst-immune).
+  std::size_t count =
+      fraction >= 1.0
+          ? victims.size()
+          : static_cast<std::size_t>(std::llround(
+                fraction * static_cast<double>(victims.size())));
+  count = std::clamp<std::size_t>(count, 1, victims.size());
   // Uniform sample without replacement (partial Fisher-Yates).
   Site& site = sites_[site_index];
-  for (std::size_t i = 0; i < count && i < victims.size(); ++i) {
+  for (std::size_t i = 0; i < count; ++i) {
     const auto j = static_cast<std::size_t>(site.rng.UniformInt(
         static_cast<std::int64_t>(i),
         static_cast<std::int64_t>(victims.size()) - 1));
     std::swap(victims[i], victims[j]);
-    Preempt(victims[i], /*allow_zombie=*/true);
+    Preempt(victims[i], ZombieMode::kSiteDefault);
   }
-  if (count > 0) {
-    ins_.site_burst.Add();
-    sim_.obs().tracer().EmitInstant("grid", "site.burst", sim_.now(),
-                                    site_index);
-    HOG_LOG(kInfo, sim_.now(), "grid")
-        << "burst at " << site.config.resource_name << ": " << count
-        << " nodes preempted";
+  ins_.site_burst.Add();
+  sim_.obs().tracer().EmitInstant("grid", "site.burst", sim_.now(),
+                                  site_index);
+  HOG_LOG(kInfo, sim_.now(), "grid")
+      << "burst at " << site.config.resource_name << ": " << count
+      << " nodes preempted";
+  return static_cast<int>(count);
+}
+
+int Grid::PreemptNodes(std::size_t site_index, int count, ZombieMode mode) {
+  assert(site_index < sites_.size());
+  // Oldest leases first: node ids are lease-ordered, so a forward scan is
+  // both deterministic and RNG-free. Victims are snapshotted before any
+  // Preempt because Reconcile may grow nodes_ mid-loop.
+  std::vector<GridNodeId> victims;
+  for (const auto& n : nodes_) {
+    if (static_cast<int>(victims.size()) >= count) break;
+    if (n->state_ == NodeState::kRunning && n->site_index_ == site_index) {
+      victims.push_back(n->id());
+    }
   }
+  for (GridNodeId id : victims) Preempt(id, mode);
+  return static_cast<int>(victims.size());
+}
+
+void Grid::FreezeAcquisition(std::size_t site_index, SimDuration duration) {
+  assert(site_index < sites_.size());
+  Site& site = sites_[site_index];
+  site.frozen_until = std::max(site.frozen_until, sim_.now() + duration);
+  // Pending demand resumes when the freeze lifts; queued glideins defer
+  // themselves in StartGlidein.
+  sim_.ScheduleAt(site.frozen_until, [this] { Reconcile(); });
+  HOG_LOG(kInfo, sim_.now(), "grid")
+      << "acquisition frozen at " << site.config.resource_name << " for "
+      << ToSeconds(duration) << "s";
+}
+
+void Grid::SetAcquisitionDelayFactor(std::size_t site_index, double factor) {
+  assert(site_index < sites_.size());
+  assert(factor > 0.0);
+  sites_[site_index].queue_delay_factor = factor;
 }
 
 std::vector<GridNodeId> Grid::RunningNodeIds() const {

@@ -72,6 +72,12 @@ struct GridConfig {
 
 enum class NodeState { kQueued, kStarting, kRunning, kZombie, kDead };
 
+/// How a forced preemption resolves the zombie dice (§IV.D.1).
+/// kSiteDefault rolls `GridConfig::zombie_probability` as organic
+/// preemptions do; kNever/kAlways pin the outcome (clean trim vs. the
+/// fault injector's `zombify` directive).
+enum class ZombieMode { kSiteDefault, kNever, kAlways };
+
 /// One glidein: a leased worker node. Identity (hostname, network endpoint,
 /// disk) lives for exactly one lease; replacements are brand-new nodes.
 class GridNode {
@@ -170,9 +176,41 @@ class Grid {
   void KillZombie(GridNodeId id);
 
   /// Forces an immediate correlated preemption at site `site_index` that
-  /// evicts `fraction` of its running glideins. Drives ablation benches and
-  /// the site-failure example (fraction 1.0 = whole-site outage).
-  void PreemptSiteFraction(std::size_t site_index, double fraction);
+  /// evicts `fraction` of its running glideins. Drives ablation benches,
+  /// the chaos injector and the site-storm example (fraction 1.0 =
+  /// whole-site outage). Non-positive (or NaN) fractions are a no-op; any
+  /// positive fraction evicts at least one node when the site has any
+  /// running, so small sites are not immune to small bursts. Returns the
+  /// number of nodes preempted.
+  int PreemptSiteFraction(std::size_t site_index, double fraction);
+
+  // ---- Fault-injection hooks (src/fault/injector.h) ----------------------
+  // Each costs nothing on the organic paths beyond a single comparison;
+  // see DESIGN.md's zero-cost-when-unused rule.
+
+  /// Preempts up to `count` running glideins at the site — oldest leases
+  /// first, so replayed preemption traces are deterministic and do not
+  /// perturb the site's RNG stream. Returns the number actually preempted.
+  int PreemptNodes(std::size_t site_index, int count,
+                   ZombieMode mode = ZombieMode::kSiteDefault);
+
+  /// Halts glidein acquisition at the site until now + `duration`: the
+  /// site stops matching new submissions and queued glideins do not start
+  /// until the freeze lifts. Repeated freezes extend, never shorten.
+  void FreezeAcquisition(std::size_t site_index, SimDuration duration);
+
+  /// Scales the site's batch-queue wait for glideins submitted from now on
+  /// (factor 3.0 = the queue got three times slower; 1.0 restores).
+  void SetAcquisitionDelayFactor(std::size_t site_index, double factor);
+
+  /// When acquisition at the site is frozen: the sim time the freeze lifts
+  /// (0 = not frozen, never frozen).
+  SimTime acquisition_frozen_until(std::size_t site_index) const {
+    return sites_[site_index].frozen_until;
+  }
+  double acquisition_delay_factor(std::size_t site_index) const {
+    return sites_[site_index].queue_delay_factor;
+  }
 
   GridNode* node(GridNodeId id) {
     return id < nodes_.size() ? nodes_[id].get() : nullptr;
@@ -197,6 +235,9 @@ class Grid {
     std::uint64_t hostname_counter = 0;
     sim::EventHandle burst_event;
     Rng rng{0};
+    // Fault-injection state; inert (0 / 1.0) unless an injector touches it.
+    SimTime frozen_until = 0;
+    double queue_delay_factor = 1.0;
   };
 
   // Observability handles, registered once at construction (obs/metrics.h).
@@ -228,7 +269,7 @@ class Grid {
   void StartGlidein(GridNodeId id);
   void FinishStartup(GridNodeId id);
   void SchedulePreemption(GridNodeId id);
-  void Preempt(GridNodeId id, bool allow_zombie);
+  void Preempt(GridNodeId id, ZombieMode mode);
   void ArmBurst(std::size_t site_index);
   std::size_t PickSite();
 

@@ -60,7 +60,49 @@ TrackerId JobTracker::RegisterTracker(TaskTracker& daemon) {
   return static_cast<TrackerId>(trackers_.size() - 1);
 }
 
+void JobTracker::Crash() {
+  if (!available_) return;
+  available_ = false;
+  tracker_monitor_.Stop();
+  sim_.obs().tracer().EmitInstant("mr", "jobtracker.crash", sim_.now(), 0);
+  HOG_LOG(kInfo, sim_.now(), "jobtracker") << "crashed";
+}
+
+void JobTracker::Restart() {
+  if (available_) return;
+  available_ = true;
+  sim_.obs().tracer().EmitInstant("mr", "jobtracker.restart", sim_.now(), 0);
+  HOG_LOG(kInfo, sim_.now(), "jobtracker") << "restarted";
+  // Re-admit trackers whose daemons survived the outage: their first
+  // post-restart heartbeat would do this anyway, so give them liveness
+  // credit as of now instead of racing the expiry check. The rest are lost.
+  for (TrackerId id = 0; id < trackers_.size(); ++id) {
+    TrackerEntry& entry = trackers_[id];
+    if (entry.daemon != nullptr && entry.daemon->process_alive()) {
+      entry.last_heartbeat = sim_.now();
+      if (!entry.alive) {
+        entry.alive = true;
+        ++live_trackers_;
+        ins_.trackers_live.Set(live_trackers_);
+      }
+    } else if (entry.alive) {
+      DeclareLost(id);
+    }
+  }
+  // Replay the RPCs that queued while we were down, in arrival order.
+  const std::vector<AttemptReport> reports = std::move(queued_reports_);
+  queued_reports_.clear();
+  const auto fetch_failures = std::move(queued_fetch_failures_);
+  queued_fetch_failures_.clear();
+  for (const AttemptReport& report : reports) ReportAttempt(report);
+  for (const auto& [job, map_index] : fetch_failures) {
+    ReportFetchFailure(job, map_index);
+  }
+  Start();
+}
+
 void JobTracker::Heartbeat(TrackerId id) {
+  if (!available_) return;  // blackout: the RPC times out unanswered
   if (id >= trackers_.size()) return;
   TrackerEntry& entry = trackers_[id];
   entry.last_heartbeat = sim_.now();
@@ -502,6 +544,12 @@ void JobTracker::NotifyReducesOfMap(JobInfo& job, const TaskInfo& map) {
 // ---- Reports ----------------------------------------------------------------------
 
 void JobTracker::ReportAttempt(const AttemptReport& report) {
+  if (!available_) {
+    // Blackout: the tasktracker's RPC client retries until the master is
+    // back, so the result is delayed, not dropped.
+    queued_reports_.push_back(report);
+    return;
+  }
   auto it = attempts_.find(report.attempt);
   if (it == attempts_.end()) return;  // killed attempt's stale report
   {
@@ -648,6 +696,10 @@ void JobTracker::HandleFailure(const AttemptReport& report) {
 }
 
 void JobTracker::ReportFetchFailure(JobId job_id, int map_index) {
+  if (!available_) {
+    queued_fetch_failures_.emplace_back(job_id, map_index);
+    return;
+  }
   if (job_id >= jobs_.size()) return;
   JobInfo& job = jobs_[job_id];
   if (job.state != JobState::kRunning) return;

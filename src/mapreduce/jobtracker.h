@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/hdfs/namenode.h"
@@ -110,6 +111,23 @@ class JobTracker {
 
   /// Arms the lost-tracker monitor.
   void Start();
+
+  // ---- Master availability (fault injection: like the namenode, the
+  // jobtracker is a single point of failure on HOG's central server) ------
+
+  /// Takes the jobtracker down: heartbeats are ignored (no scheduling, no
+  /// liveness credit), the lost-tracker monitor stops, and tasktracker
+  /// reports queue client-side until Restart() — Hadoop RPC clients retry,
+  /// they do not drop results.
+  void Crash();
+
+  /// Brings the jobtracker back. Trackers whose daemons survived the
+  /// outage are re-admitted as of now; dead ones are declared lost and
+  /// their tasks rescheduled. Queued reports are then replayed in arrival
+  /// order.
+  void Restart();
+
+  bool available() const { return available_; }
 
   // ---- Tasktracker lifecycle --------------------------------------------
 
@@ -273,6 +291,10 @@ class JobTracker {
   AttemptId next_attempt_ = 1;
 
   sim::PeriodicTimer tracker_monitor_;
+  bool available_ = true;
+  // RPCs that arrived during a blackout, replayed in order on Restart().
+  std::vector<AttemptReport> queued_reports_;
+  std::vector<std::pair<JobId, int>> queued_fetch_failures_;
   int live_trackers_ = 0;
   int running_jobs_ = 0;
   std::uint64_t trackers_lost_ = 0;

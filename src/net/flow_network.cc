@@ -98,6 +98,7 @@ void FlowNetwork::AdvanceFlow(Flow& flow) {
 }
 
 Rate FlowNetwork::EvenShareRate(const Flow& flow) const {
+  if (!partitions_.empty() && FlowPartitioned(flow)) return 0.0;
   Rate rate = kLoopbackRate;
   for (LinkId l : flow.path) {
     const auto n = links_[l].flows.size();
@@ -159,6 +160,17 @@ void FlowNetwork::ReallocateMaxMin() {
   for (auto& [id, flow] : flows_) {
     if (flow.active && !flow.path.empty()) {
       AdvanceFlow(flow);
+      if (!partitions_.empty() && FlowPartitioned(flow)) {
+        // Severed: pinned at zero and withdrawn from every link it crosses
+        // so it neither claims nor blocks a share.
+        flow.rate = 0.0;
+        fixed[id] = true;
+        for (LinkId l : flow.path) {
+          assert(state[l].unfixed > 0);
+          --state[l].unfixed;
+        }
+        continue;
+      }
       fixed[id] = false;
       ++unfixed_total;
     }
@@ -248,6 +260,27 @@ void FlowNetwork::FailFlowsAtNode(NodeId node) {
   if (it == flows_by_node_.end()) return;
   const std::vector<FlowId> ids(it->second.begin(), it->second.end());
   for (FlowId id : ids) FinishFlow(id, false);
+}
+
+void FlowNetwork::SetSiteUplink(SiteId site, Rate uplink) {
+  assert(site < sites_.size());
+  assert(uplink > 0);
+  links_[sites_[site].wan_tx].capacity = uplink;
+  links_[sites_[site].wan_rx].capacity = uplink;
+  Reallocate({sites_[site].wan_tx, sites_[site].wan_rx});
+}
+
+void FlowNetwork::SetSitePartition(SiteId a, SiteId b, bool severed) {
+  assert(a < sites_.size() && b < sites_.size() && a != b);
+  const std::uint64_t key = PartitionKey(a, b);
+  const bool changed =
+      severed ? partitions_.insert(key).second : partitions_.erase(key) > 0;
+  if (!changed) return;
+  // Every flow between the pair crosses both sites' WAN links, so touching
+  // those four links re-rates exactly the affected flows (severed flows
+  // starve via EvenShareRate() == 0; healed flows get completions back).
+  Reallocate({sites_[a].wan_tx, sites_[a].wan_rx, sites_[b].wan_tx,
+              sites_[b].wan_rx});
 }
 
 Rate FlowNetwork::FlowRate(FlowId id) const {

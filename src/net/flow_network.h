@@ -22,6 +22,7 @@
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulation.h"
@@ -101,6 +102,26 @@ class FlowNetwork {
   /// Total bytes fully delivered so far (conservation checks in tests).
   Bytes delivered_bytes() const { return delivered_; }
 
+  // ---- Fault-injection hooks (src/fault/injector.h) ----------------------
+  // Both degrade in place: existing flows re-share immediately, nothing
+  // costs the organic path more than an empty-set check.
+
+  /// Rescales the site's WAN uplink (both directions) to `uplink`; active
+  /// flows crossing it re-share at once. Capacity must stay > 0.
+  void SetSiteUplink(SiteId site, Rate uplink);
+  Rate SiteUplink(SiteId site) const {
+    return links_[sites_[site].wan_tx].capacity;
+  }
+
+  /// Severs (or heals) the path between two sites: flows between them
+  /// stall at rate zero until healed, while control-message Latency() is
+  /// deliberately unaffected — HOG's HTTP control plane rides links the
+  /// bulk-data model does not constrain.
+  void SetSitePartition(SiteId a, SiteId b, bool severed);
+  bool SitesPartitioned(SiteId a, SiteId b) const {
+    return !partitions_.empty() && partitions_.count(PartitionKey(a, b)) > 0;
+  }
+
   const FlowNetworkConfig& config() const { return config_; }
 
  private:
@@ -136,6 +157,18 @@ class FlowNetwork {
     sim::EventHandle completion;
   };
 
+  static std::uint64_t PartitionKey(SiteId a, SiteId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  /// True when the flow crosses a severed site pair. Callers guard with
+  /// `!partitions_.empty()` so the no-partition path stays free.
+  bool FlowPartitioned(const Flow& flow) const {
+    return flow.cross_site &&
+           partitions_.count(
+               PartitionKey(nodes_[flow.src].site, nodes_[flow.dst].site)) > 0;
+  }
+
   LinkId AddLink(Rate capacity);
   void Activate(FlowId id);
   void FinishFlow(FlowId id, bool ok);
@@ -159,6 +192,7 @@ class FlowNetwork {
   std::vector<Site> sites_;
   std::unordered_map<FlowId, Flow> flows_;
   std::unordered_map<NodeId, std::unordered_set<FlowId>> flows_by_node_;
+  std::unordered_set<std::uint64_t> partitions_;  // severed site pairs
   FlowId next_flow_ = 1;
   Bytes delivered_ = 0;
 };

@@ -11,6 +11,7 @@
 // writable while the daemon processes live on.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -75,9 +76,19 @@ class Disk {
   /// Returns previously reserved space.
   void Release(Bytes bytes);
 
+  /// Resizes the space available to Hadoop (fault injection: the host's
+  /// own workload ate the scratch partition). May shrink below `used()`;
+  /// existing data survives but every new Reserve fails until enough is
+  /// Released. Capacity must stay >= 0.
+  void SetCapacity(Bytes capacity) {
+    assert(capacity >= 0);
+    capacity_ = capacity;
+  }
+
   Bytes capacity() const { return capacity_; }
   Bytes used() const { return used_; }
-  Bytes free() const { return capacity_ - used_; }
+  /// Never negative, even while over-committed after a SetCapacity shrink.
+  Bytes free() const { return capacity_ > used_ ? capacity_ - used_ : 0; }
 
   // -- Bandwidth-shared I/O ---------------------------------------------
 

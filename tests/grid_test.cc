@@ -243,6 +243,137 @@ TEST_F(GridTest, PreemptSiteFractionEvictsRequestedShare) {
   EXPECT_EQ(grid.running_nodes(), before - at_site0);
 }
 
+TEST_F(GridTest, PreemptSiteFractionZeroIsNoOp) {
+  Grid grid = MakeGrid();
+  grid.AddSite(QuietSite("A", "a.edu"));
+  grid.SetTargetNodes(10);
+  sim_.RunUntil(kHour);
+  ASSERT_EQ(grid.running_nodes(), 10);
+  EXPECT_EQ(grid.PreemptSiteFraction(0, 0.0), 0);
+  EXPECT_EQ(grid.running_nodes(), 10);
+  EXPECT_EQ(grid.preemptions(), 0u);
+}
+
+TEST_F(GridTest, PreemptSiteFractionSmallSiteEvictsAtLeastOne) {
+  Grid grid = MakeGrid();
+  grid.AddSite(QuietSite("A", "a.edu"));
+  grid.SetTargetNodes(10);
+  sim_.RunUntil(kHour);
+  ASSERT_EQ(grid.running_nodes(), 10);
+  // 4% of 10 nodes rounds to zero, but a non-zero fraction means the
+  // burst hit someone: at least one node goes.
+  EXPECT_EQ(grid.PreemptSiteFraction(0, 0.04), 1);
+  EXPECT_EQ(grid.running_nodes(), 9);
+  // Rounding stays a round, not a floor: 25% of 9 -> 2.
+  EXPECT_EQ(grid.PreemptSiteFraction(0, 0.25), 2);
+}
+
+TEST_F(GridTest, PreemptSiteFractionOnEmptySite) {
+  Grid grid = MakeGrid();
+  grid.AddSite(QuietSite("A", "a.edu"));
+  grid.AddSite(QuietSite("B", "b.edu"));
+  grid.SetTargetNodes(0);
+  sim_.RunUntil(kMinute);
+  EXPECT_EQ(grid.PreemptSiteFraction(0, 1.0), 0);  // nothing to evict
+}
+
+TEST_F(GridTest, PreemptSiteFractionLeavesQueuedNodesAlone) {
+  Grid grid = MakeGrid();
+  grid.AddSite(QuietSite("A", "a.edu"));
+  grid.SetTargetNodes(10);
+  sim_.RunUntil(kHour);
+  ASSERT_EQ(grid.running_nodes(), 10);
+  // Grow the target: the 10 extra leases sit in the site's batch queue.
+  grid.SetTargetNodes(20);
+  // The burst only evicts RUNNING nodes — the queued ones ride it out and
+  // the pool recovers to the full 20.
+  EXPECT_EQ(grid.PreemptSiteFraction(0, 1.0), 10);
+  EXPECT_EQ(grid.running_nodes(), 0);
+  sim_.RunUntil(sim_.now() + kHour);
+  EXPECT_EQ(grid.running_nodes(), 20);
+}
+
+TEST_F(GridTest, PreemptSiteFractionOnZombieSiteLeavesZombies) {
+  GridConfig config;
+  config.zombie_probability = 1.0;
+  Grid grid = MakeGrid(config);
+  grid.AddSite(QuietSite("A", "a.edu"));
+  grid.SetTargetNodes(8);
+  sim_.RunUntil(kHour);
+  ASSERT_EQ(grid.running_nodes(), 8);
+  EXPECT_EQ(grid.PreemptSiteFraction(0, 0.5), 4);
+  EXPECT_EQ(grid.zombie_nodes(), 4);
+}
+
+TEST_F(GridTest, PreemptNodesTakesOldestLeasesFirst) {
+  Grid grid = MakeGrid();
+  grid.AddSite(QuietSite("A", "a.edu"));
+  grid.SetTargetNodes(6);
+  sim_.RunUntil(kHour);
+  ASSERT_EQ(grid.running_nodes(), 6);
+  EXPECT_EQ(grid.PreemptNodes(0, 3, ZombieMode::kNever), 3);
+  // Leases start in id order, so the oldest three are ids 0..2.
+  for (GridNodeId id = 0; id < 3; ++id) {
+    EXPECT_FALSE(grid.node(id)->running()) << id;
+  }
+  for (GridNodeId id = 3; id < 6; ++id) {
+    EXPECT_TRUE(grid.node(id)->running()) << id;
+  }
+  // Asking for more than the site holds clamps to what is there.
+  EXPECT_EQ(grid.PreemptNodes(0, 99, ZombieMode::kNever), 3);
+  EXPECT_EQ(grid.running_nodes(), 0);
+}
+
+TEST_F(GridTest, PreemptNodesZombieModeOverridesSiteDefault) {
+  Grid grid = MakeGrid();  // zombie_probability defaults to 0
+  grid.AddSite(QuietSite("A", "a.edu"));
+  grid.SetTargetNodes(4);
+  sim_.RunUntil(kHour);
+  ASSERT_EQ(grid.running_nodes(), 4);
+  EXPECT_EQ(grid.PreemptNodes(0, 2, ZombieMode::kAlways), 2);
+  EXPECT_EQ(grid.zombie_nodes(), 2);  // forced despite probability 0
+  EXPECT_EQ(grid.PreemptNodes(0, 2, ZombieMode::kNever), 2);
+  EXPECT_EQ(grid.zombie_nodes(), 2);  // unchanged
+}
+
+TEST_F(GridTest, FreezeAcquisitionStallsReplacementUntilExpiry) {
+  Grid grid = MakeGrid();
+  grid.AddSite(QuietSite("A", "a.edu"));
+  grid.SetTargetNodes(5);
+  sim_.RunUntil(kHour);
+  ASSERT_EQ(grid.running_nodes(), 5);
+  grid.FreezeAcquisition(0, 10 * kMinute);
+  const SimTime frozen_until = sim_.now() + 10 * kMinute;
+  EXPECT_EQ(grid.acquisition_frozen_until(0), frozen_until);
+  grid.PreemptSiteFraction(0, 1.0);
+  sim_.RunUntil(frozen_until - kMinute);
+  EXPECT_EQ(grid.running_nodes(), 0);  // nothing starts while frozen
+  sim_.RunUntil(frozen_until + kHour);
+  EXPECT_EQ(grid.running_nodes(), 5);
+  // A shorter freeze never shortens a longer one already in force.
+  grid.FreezeAcquisition(0, kHour);
+  const SimTime extended = grid.acquisition_frozen_until(0);
+  grid.FreezeAcquisition(0, kMinute);
+  EXPECT_EQ(grid.acquisition_frozen_until(0), extended);
+}
+
+TEST_F(GridTest, AcquisitionDelayFactorStretchesQueueWait) {
+  Grid grid = MakeGrid();
+  grid.AddSite(QuietSite("A", "a.edu"));
+  EXPECT_DOUBLE_EQ(grid.acquisition_delay_factor(0), 1.0);
+  grid.SetTargetNodes(10);
+  sim_.RunUntil(kHour);
+  ASSERT_EQ(grid.running_nodes(), 10);
+  // Same eviction, 20x slower batch queue: strictly later recovery than
+  // an unthrottled site would manage (mean wait 30 s -> 600 s).
+  grid.SetAcquisitionDelayFactor(0, 20.0);
+  grid.PreemptSiteFraction(0, 1.0);
+  sim_.RunUntil(sim_.now() + 2 * kMinute);
+  EXPECT_LT(grid.running_nodes(), 10);  // still climbing back
+  sim_.RunUntil(sim_.now() + 4 * kHour);
+  EXPECT_EQ(grid.running_nodes(), 10);
+}
+
 TEST_F(GridTest, StartupDownloadsPayloadFromRepo) {
   Grid grid = MakeGrid();
   grid.AddSite(QuietSite("A", "a.edu"));

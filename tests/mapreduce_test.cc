@@ -380,6 +380,39 @@ TEST(MapReduce, ReportsByteConservationThroughShuffle) {
 
 // Parameterized churn sweep: random worker kills during a job; the job
 // must always finish (enough replicas + re-execution machinery).
+TEST(MapReduce, JobTrackerBlackoutQueuesReportsAndRecovers) {
+  MrConfig config;
+  config.tracker_expiry = 30 * kSecond;
+  MrHarness h(4, config);
+  const JobId job = h.Submit(8 * 64 * kMiB, 2, /*map rate*/ 8);
+  // A 90 s blackout, three times the tracker expiry: mid-blackout
+  // heartbeats earn no liveness credit and task reports queue
+  // client-side; the restart re-admits every still-alive tracker and
+  // replays the queue, so nobody is declared lost and no map re-executes
+  // for a master-side reason.
+  h.sim().ScheduleAfter(60 * kSecond, [&] { h.jt().Crash(); });
+  h.sim().ScheduleAfter(100 * kSecond,
+                        [&] { EXPECT_FALSE(h.jt().available()); });
+  h.sim().ScheduleAfter(150 * kSecond, [&] { h.jt().Restart(); });
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_TRUE(h.jt().available());
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+  EXPECT_EQ(h.jt().trackers_declared_lost(), 0u);
+}
+
+TEST(MapReduce, JobTrackerCrashAndRestartAreIdempotent) {
+  MrHarness h(2);
+  const JobId job = h.Submit(2 * 64 * kMiB, 1);
+  h.sim().ScheduleAfter(30 * kSecond, [&] {
+    h.jt().Crash();
+    h.jt().Crash();  // double crash: no-op
+    h.jt().Restart();
+    h.jt().Restart();  // double restart: no-op
+  });
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_EQ(h.jt().job(job).state, JobState::kSucceeded);
+}
+
 class ChurnSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(ChurnSweep, JobSurvivesRandomKills) {

@@ -264,5 +264,95 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(SharingPolicy::kEvenShare,
                                          SharingPolicy::kMaxMinFair)));
 
+// Fault hooks: inter-site partition and uplink degradation (src/fault).
+
+class PartitionPolicy : public ::testing::TestWithParam<SharingPolicy> {
+ protected:
+  sim::Simulation sim_;
+};
+
+TEST_P(PartitionPolicy, PartitionStallsFlowAndHealResumesIt) {
+  FlowNetwork net(sim_, NoCap(GetParam()));
+  const SiteId s1 = net.AddSite(MiBps(100));
+  const SiteId s2 = net.AddSite(MiBps(100));
+  const NodeId a = net.AddNode(s1, MiBps(100));
+  const NodeId b = net.AddNode(s2, MiBps(100));
+  SimTime done_at = -1;
+  bool ok = false;
+  net.StartFlow(a, b, 100 * kMiB, [&](bool flow_ok) {
+    ok = flow_ok;
+    done_at = sim_.now();
+  });
+  net.SetSitePartition(s1, s2, true);
+  EXPECT_TRUE(net.SitesPartitioned(s1, s2));
+  // Ten seconds of partition: the flow makes zero progress.
+  sim_.RunUntil(10 * kSecond);
+  EXPECT_EQ(done_at, -1);
+  net.SetSitePartition(s1, s2, false);
+  EXPECT_FALSE(net.SitesPartitioned(s1, s2));
+  sim_.RunAll();
+  EXPECT_TRUE(ok);
+  // All ~1 s of transfer happened after the heal.
+  EXPECT_NEAR(ToSeconds(done_at), 10.0 + 1.0, 0.1);
+}
+
+TEST_P(PartitionPolicy, PartitionLeavesOtherSitePairsFlowing) {
+  FlowNetwork net(sim_, NoCap(GetParam()));
+  const SiteId s1 = net.AddSite(MiBps(100));
+  const SiteId s2 = net.AddSite(MiBps(100));
+  const SiteId s3 = net.AddSite(MiBps(100));
+  const NodeId a = net.AddNode(s1, MiBps(100));
+  const NodeId b = net.AddNode(s2, MiBps(100));
+  const NodeId c = net.AddNode(s3, MiBps(100));
+  int done = 0;
+  net.SetSitePartition(s1, s2, true);
+  net.StartFlow(a, b, kMiB, [&](bool) { ++done; });   // severed pair
+  net.StartFlow(a, c, 100 * kMiB, [&](bool) { ++done; });  // unaffected
+  sim_.RunUntil(10 * kSecond);
+  EXPECT_EQ(done, 1);  // only the s1->s3 flow finished
+  net.SetSitePartition(s1, s2, false);
+  sim_.RunAll();
+  EXPECT_EQ(done, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PartitionPolicy,
+                         ::testing::Values(SharingPolicy::kEvenShare,
+                                           SharingPolicy::kMaxMinFair));
+
+TEST_F(NetTest, SetSiteUplinkSlowsCrossSiteFlows) {
+  FlowNetwork net(sim_, NoCap());
+  const SiteId s1 = net.AddSite(MiBps(100));
+  const SiteId s2 = net.AddSite(MiBps(100));
+  const NodeId a = net.AddNode(s1, MiBps(100));
+  const NodeId b = net.AddNode(s2, MiBps(100));
+  EXPECT_EQ(net.SiteUplink(s1), MiBps(100));
+  net.SetSiteUplink(s1, MiBps(25));
+  EXPECT_EQ(net.SiteUplink(s1), MiBps(25));
+  SimTime done_at = -1;
+  net.StartFlow(a, b, 100 * kMiB, [&](bool) { done_at = sim_.now(); });
+  sim_.RunAll();
+  // 100 MiB through a 25 MiB/s uplink: ~4 s + WAN latency.
+  EXPECT_NEAR(ToSeconds(done_at), 4.0 + ToSeconds(net.config().wan_latency),
+              0.05);
+}
+
+TEST_F(NetTest, SetSiteUplinkMidFlowReallocates) {
+  FlowNetwork net(sim_, NoCap());
+  const SiteId s1 = net.AddSite(MiBps(100));
+  const SiteId s2 = net.AddSite(MiBps(100));
+  const NodeId a = net.AddNode(s1, MiBps(100));
+  const NodeId b = net.AddNode(s2, MiBps(100));
+  SimTime done_at = -1;
+  net.StartFlow(a, b, 100 * kMiB, [&](bool) { done_at = sim_.now(); });
+  // At 0.5 s, degrade to quarter rate. Data moves only after wan_latency
+  // (call it L): (0.5 - L) s at 100 MiB/s, the rest at 25 MiB/s, so the
+  // flow lands at 0.5 + (100 - (0.5 - L) * 100) / 25 = 2.5 + 4L.
+  sim_.ScheduleAt(500 * kMillisecond,
+                  [&] { net.SetSiteUplink(s1, MiBps(25)); });
+  sim_.RunAll();
+  EXPECT_NEAR(ToSeconds(done_at),
+              2.5 + 4 * ToSeconds(net.config().wan_latency), 0.05);
+}
+
 }  // namespace
 }  // namespace hogsim::net

@@ -132,5 +132,25 @@ TEST_F(DiskTest, BandwidthConservation) {
   EXPECT_NEAR(ToSeconds(sim_.now()), 4.0, 0.05);
 }
 
+TEST_F(DiskTest, SetCapacityCanOverCommit) {
+  Disk disk(sim_, 100 * kMiB, MiBps(100));
+  ASSERT_TRUE(disk.Reserve(60 * kMiB));
+  // Fault injection shrinks the disk below what is already used: free
+  // clamps to zero and new reservations fail, but nothing is deleted.
+  disk.SetCapacity(40 * kMiB);
+  EXPECT_EQ(disk.capacity(), 40 * kMiB);
+  EXPECT_EQ(disk.used(), 60 * kMiB);
+  EXPECT_EQ(disk.free(), 0);
+  EXPECT_FALSE(disk.Reserve(1));
+  // Releasing recovers space once usage drops back under the new cap.
+  disk.Release(30 * kMiB);
+  EXPECT_EQ(disk.free(), 10 * kMiB);
+  EXPECT_TRUE(disk.Reserve(10 * kMiB));
+  EXPECT_FALSE(disk.Reserve(1));
+  // Growing the disk again makes room immediately.
+  disk.SetCapacity(100 * kMiB);
+  EXPECT_TRUE(disk.Reserve(60 * kMiB));
+}
+
 }  // namespace
 }  // namespace hogsim::storage
