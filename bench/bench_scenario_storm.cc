@@ -38,9 +38,15 @@ int main(int argc, char** argv) {
   spec.name = "scenario_storm";
   spec.configs = 1;
   spec.config_labels = {"hog55"};
+  // --audit arms the fail-fast invariant auditor: the storm then proves
+  // not just that jobs survive, but that every layer stays consistent.
+  exp::HogRunOptions ropts;
+  ropts.audit = opts.audit;
+  ropts.audit_fail_fast = true;
   const exp::SweepResult sweep = exp::RunBenchSweep(
-      opts, spec, [&scenario](std::size_t, std::uint64_t seed) -> exp::Metrics {
-        const auto result = exp::RunHogWorkload(55, seed, {}, &scenario);
+      opts, spec,
+      [&scenario, &ropts](std::size_t, std::uint64_t seed) -> exp::Metrics {
+        const auto result = exp::RunHogWorkload(55, seed, {}, &scenario, ropts);
         return {{"response_s", result.workload.response_time_s},
                 {"failed_jobs",
                  static_cast<double>(result.workload.failed)},

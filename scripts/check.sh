@@ -37,6 +37,12 @@ run_preset() {
   # injector, and every layer hook execute end to end.
   "$dir/bench/bench_scenario_storm" --fast \
     --scenario=scenarios/site_storm.txt --out="$dir/BENCH_scenario_storm.json"
+  echo "== [$preset] chaos soak (fail-fast audits) =="
+  # Random-scenario soak with the invariant auditor armed in fail-fast
+  # mode: any cross-layer inconsistency chaos shakes loose aborts the run
+  # (and, under the sanitize preset, any memory error surfaces here too).
+  "$dir/bench/bench_chaos_soak" --fast --audit \
+    --out="$dir/BENCH_soak_fast.json"
   echo "== [$preset] examples present =="
   # The example binaries are part of the build graph; a missing one means
   # a source file was dropped without updating the examples.

@@ -18,6 +18,7 @@ namespace {
       status == 0 ? stdout : stderr,
       "usage: %s [--seeds=LIST|COUNT] [--threads=N] [--out=PATH] [--fast]\n"
       "          [--metrics-out=PATH] [--trace-out=PATH] [--scenario=PATH]\n"
+      "          [--audit]\n"
       "  --seeds=11,23,47  explicit seed list\n"
       "  --seeds=5         first 5 seeds of the default progression\n"
       "  --threads=N       sweep pool width (0 = hardware concurrency)\n"
@@ -27,7 +28,10 @@ namespace {
       "  --trace-out=PATH    per-run Chrome trace JSON (chrome://tracing)\n"
       "                      (multi-run sweeps insert .<config>.s<seed>)\n"
       "  --scenario=PATH     fault scenario file (.trace = preemption\n"
-      "                      trace) injected into every run of the sweep\n",
+      "                      trace) injected into every run of the sweep\n"
+      "  --audit             arm the cross-layer invariant auditor\n"
+      "                      (src/check) in every run; violations fail\n"
+      "                      fast with a diagnostic\n",
       prog);
   std::exit(status);
 }
@@ -67,6 +71,10 @@ BenchOptions ParseBenchOptions(int argc, char* const* argv,
     if (arg == "--help" || arg == "-h") Usage(prog, 0);
     if (arg == "--fast") {
       opts.fast = true;
+      continue;
+    }
+    if (arg == "--audit") {
+      opts.audit = true;
       continue;
     }
     const auto eat = [&](std::string_view flag,

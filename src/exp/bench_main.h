@@ -15,6 +15,9 @@
 //                      into every run of the sweep (see src/fault and
 //                      EXPERIMENTS.md). Per-config and seed-independent:
 //                      the same faults hit every (config, seed) run.
+//   --audit            arm the cross-layer invariant auditor (src/check)
+//                      in every run, fail-fast: the first violated
+//                      invariant aborts the bench with a diagnostic.
 //
 // The obs flags produce one file per (config, seed) run: with a single run
 // the path is used verbatim; with several, ".<config>.s<seed>" is inserted
@@ -54,6 +57,10 @@ struct BenchOptions {
   /// LoadBenchScenario; runs arm it on their own Simulation, so sweeps
   /// stay deterministic and thread-count independent.
   std::string scenario;
+  /// Arm the cross-layer invariant auditor (src/check) in every run, in
+  /// fail-fast mode: the first violated invariant aborts the bench with a
+  /// diagnostic. Audits read state only, so results are unchanged.
+  bool audit = false;
 };
 
 /// The per-run output path for --metrics-out/--trace-out: `base` verbatim

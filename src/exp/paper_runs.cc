@@ -4,16 +4,32 @@
 #include <utility>
 
 #include "src/baseline/dedicated_cluster.h"
+#include "src/check/auditor.h"
 #include "src/fault/injector.h"
+#include "src/util/log.h"
 #include "src/workload/facebook.h"
 
 namespace hogsim::exp {
 
 HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
                             hog::HogConfig config,
-                            const fault::Scenario* scenario) {
+                            const fault::Scenario* scenario,
+                            HogRunOptions options) {
   HogRunResult result;
   hog::HogCluster cluster(seed, std::move(config));
+
+  // The auditor outlives everything below it and dies before the cluster.
+  std::unique_ptr<check::Auditor> auditor;
+  if (options.audit) {
+    check::Auditor::Options aopts;
+    aopts.fail_fast = options.audit_fail_fast;
+    aopts.period = options.audit_period;
+    auditor = std::make_unique<check::Auditor>(
+        cluster.sim(), &cluster.namenode(), &cluster.jobtracker(),
+        &cluster.grid(), aopts);
+    auditor->Start();
+  }
+
   cluster.RequestNodes(max_nodes);
   result.reached_target =
       cluster.WaitForNodes(max_nodes, kSpinUpDeadline) ||
@@ -50,6 +66,53 @@ HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
       result.window_start, result.window_end);
   result.mean_reported_nodes = cluster.reported_nodes().MeanOver(
       result.window_start, result.window_end);
+
+  // Healing drain: the workload is done, but the last storm may have left
+  // the replication queue non-empty. Time-to-full-replication is the
+  // paper's recovery metric — how long until every surviving block is back
+  // at target replication.
+  if (options.drain_deadline > 0) {
+    const SimTime drain_start = cluster.sim().now();
+    hdfs::Namenode& nn = cluster.namenode();
+    result.fully_replicated = cluster.RunUntil(
+        [&nn] { return nn.under_replicated() == 0; },
+        drain_start + options.drain_deadline, 5 * kSecond);
+    if (result.fully_replicated) {
+      result.time_to_full_replication_s =
+          ToSeconds(cluster.sim().now() - drain_start);
+    }
+    // Committed outputs of succeeded jobs must still exist somewhere.
+    const mr::JobTracker& jt = cluster.jobtracker();
+    for (std::size_t j = 0; j < jt.job_count(); ++j) {
+      const mr::JobInfo& job = jt.job(static_cast<mr::JobId>(j));
+      if (job.state != mr::JobState::kSucceeded ||
+          job.output_file == hdfs::kInvalidFile) {
+        continue;
+      }
+      for (const hdfs::BlockLocation& loc :
+           nn.GetFileBlocks(job.output_file)) {
+        if (!loc.datanodes.empty()) continue;
+        // An uncommitted holder-less block is an abandoned in-flight write
+        // (e.g. a killed speculative attempt), not acknowledged data.
+        if (!nn.BlockCommitted(loc.block)) {
+          HOG_LOG(kInfo, cluster.sim().now(), "exp")
+              << "ignoring uncommitted orphan block " << loc.block << " in "
+              << nn.FileName(job.output_file);
+          continue;
+        }
+        HOG_LOG(kWarn, cluster.sim().now(), "exp")
+            << "committed output block " << loc.block << " of "
+            << nn.FileName(job.output_file) << " has no live replica";
+        ++result.outputs_lost;
+      }
+    }
+  }
+
+  if (auditor != nullptr) {
+    auditor->AuditNow();  // end-of-run pass over the settled cluster
+    result.audit_passes = auditor->audits_run();
+    result.audit_violations = auditor->violations();
+  }
   return result;
 }
 

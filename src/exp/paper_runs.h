@@ -34,6 +34,37 @@ struct HogRunResult {
   StepSeries reported_nodes;  // Fig. 5 trace over the workload window
   SimTime window_start = 0;
   SimTime window_end = 0;
+
+  // Populated when HogRunOptions.audit is set.
+  std::uint64_t audit_passes = 0;
+  std::uint64_t audit_violations = 0;
+
+  // Populated when HogRunOptions.drain_deadline > 0.
+  bool fully_replicated = false;  // under-replication queue drained
+  double time_to_full_replication_s = -1;  // workload end -> queue empty
+  /// Committed output blocks of succeeded jobs with zero believed-alive
+  /// replicas at end of run ("the workload said done but the data is
+  /// gone") — the soak harness asserts this stays 0.
+  std::uint64_t outputs_lost = 0;
+};
+
+/// Optional verification extras for RunHogWorkload; the default-constructed
+/// value reproduces the plain run exactly.
+struct HogRunOptions {
+  /// Arm a check::Auditor over all four layers for the whole run (periodic
+  /// tick + one final end-of-run pass). The auditor only reads state and
+  /// draws no RNG, so an audited run's trajectory is identical to an
+  /// unaudited one.
+  bool audit = false;
+  /// Audit violations throw check::AuditError instead of accumulating.
+  bool audit_fail_fast = false;
+  /// Auditor tick interval.
+  SimDuration audit_period = 30 * kSecond;
+  /// When > 0: after the workload finishes, keep the cluster running until
+  /// the namenode's under-replication queue drains (healing complete) or
+  /// this much extra sim time passes. Fills time_to_full_replication_s,
+  /// fully_replicated, and outputs_lost.
+  SimDuration drain_deadline = 0;
 };
 
 /// Runs the full 88-job Facebook workload on a HOG deployment of
@@ -44,7 +75,8 @@ struct HogRunResult {
 /// file means ten minutes into the measured window.
 HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
                             hog::HogConfig config = {},
-                            const fault::Scenario* scenario = nullptr);
+                            const fault::Scenario* scenario = nullptr,
+                            HogRunOptions options = {});
 
 /// Runs the workload on the dedicated Table III cluster.
 workload::WorkloadResult RunClusterWorkload(std::uint64_t seed);

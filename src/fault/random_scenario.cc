@@ -1,0 +1,90 @@
+#include "src/fault/random_scenario.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace hogsim::fault {
+
+namespace {
+
+// Operand ranges are quantized (whole seconds, two-decimal fractions) so
+// FormatScenario round-trips the generated scenario exactly.
+SimDuration Seconds(Rng& rng, int lo, int hi) {
+  return rng.UniformInt(lo, hi) * kSecond;
+}
+
+double Fraction(Rng& rng, int lo_pct, int hi_pct) {
+  return static_cast<double>(rng.UniformInt(lo_pct, hi_pct)) / 100.0;
+}
+
+}  // namespace
+
+Scenario RandomScenario(std::uint64_t seed, RandomScenarioOptions options) {
+  Rng rng(0x5C3A0C0DULL ^ seed);
+  Scenario out;
+  out.name = "random-" + std::to_string(seed);
+
+  int blackouts_left = options.allow_blackouts ? 2 : 0;
+  for (int i = 0; i < options.actions; ++i) {
+    TimedAction timed;
+    timed.at = Seconds(rng, 30, static_cast<int>(options.horizon / kSecond));
+    timed.line = i + 1;
+    Action& a = timed.action;
+    a.site = static_cast<int>(rng.UniformInt(0, options.sites - 1));
+
+    int roll = static_cast<int>(rng.UniformInt(0, 99));
+    // A partition needs a second site; master blackouts are rationed to
+    // one of each per scenario. Redirect exhausted rolls to preemptions,
+    // the bread-and-butter fault of the paper.
+    if (roll >= 85 && roll < 93 && options.sites < 2) roll = 0;
+    if (roll >= 93 && blackouts_left <= 0) roll = 20;
+
+    if (roll < 20) {
+      a.kind = ActionKind::kPreemptSite;
+      a.value = Fraction(rng, 10, 50);
+    } else if (roll < 40) {
+      a.kind = ActionKind::kPreemptNodes;
+      a.value = static_cast<double>(rng.UniformInt(1, 8));
+    } else if (roll < 55) {
+      a.kind = ActionKind::kZombify;
+      a.value = static_cast<double>(rng.UniformInt(1, 4));
+    } else if (roll < 65) {
+      a.kind = ActionKind::kFreezeAcquisition;
+      a.duration = Seconds(rng, 60, 480);
+    } else if (roll < 75) {
+      a.kind = ActionKind::kThrottleAcquisition;
+      a.value = static_cast<double>(rng.UniformInt(15, 40)) / 10.0;
+    } else if (roll < 85) {
+      a.kind = ActionKind::kDegradeUplink;
+      a.value = static_cast<double>(rng.UniformInt(2, 6));
+      a.duration = Seconds(rng, 60, 480);
+    } else if (roll < 93) {
+      a.kind = ActionKind::kPartition;
+      a.site_b = static_cast<int>(rng.UniformInt(0, options.sites - 2));
+      if (a.site_b >= a.site) ++a.site_b;
+      a.duration = Seconds(rng, 60, 300);
+    } else {
+      a.kind = roll < 97 ? ActionKind::kNamenodeBlackout
+                         : ActionKind::kJobtrackerBlackout;
+      a.site = kAllSites;
+      a.duration = Seconds(rng, 30, 90);
+      --blackouts_left;
+    }
+    out.actions.push_back(timed);
+  }
+
+  // Draw-order index breaks time ties, keeping the sort deterministic.
+  std::sort(out.actions.begin(), out.actions.end(),
+            [](const TimedAction& lhs, const TimedAction& rhs) {
+              return lhs.at != rhs.at ? lhs.at < rhs.at
+                                      : lhs.line < rhs.line;
+            });
+  for (std::size_t i = 0; i < out.actions.size(); ++i) {
+    out.actions[i].line = static_cast<int>(i) + 1;
+  }
+  return out;
+}
+
+}  // namespace hogsim::fault

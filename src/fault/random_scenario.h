@@ -1,0 +1,37 @@
+// Seeded random chaos scenarios for the soak harness (bench_chaos_soak).
+//
+// RandomScenario draws a timed action sequence from a *survivable*
+// palette: every fault it emits is one the recovery machinery is supposed
+// to absorb — partial site preemptions, zombie outbreaks, acquisition
+// freezes, uplink degradation, partitions, and bounded master blackouts.
+// Deliberately excluded are disk shrink/fill actions (which can fail jobs
+// legitimately through ENOSPC rather than through a recovery bug) and
+// whole-cluster wipes, so a soak run asserting "all jobs terminate, no
+// committed output lost" tests self-healing, not the impossible.
+//
+// The generator owns a private Rng seeded from its argument and draws no
+// run RNG: the same seed yields byte-identical scenario text on every
+// machine, and generating scenarios never perturbs a simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "src/fault/scenario.h"
+
+namespace hogsim::fault {
+
+struct RandomScenarioOptions {
+  int actions = 8;                     ///< timed actions to draw
+  int sites = 5;                       ///< grid sites addressable by faults
+  SimDuration horizon = 40 * kMinute;  ///< actions land in [30 s, horizon]
+  /// Permit (at most one each) namenode/jobtracker blackout. Off for
+  /// workloads that cannot tolerate master outages at all.
+  bool allow_blackouts = true;
+};
+
+/// Generates a deterministic random scenario named "random-<seed>",
+/// actions sorted by firing time.
+Scenario RandomScenario(std::uint64_t seed,
+                        RandomScenarioOptions options = {});
+
+}  // namespace hogsim::fault

@@ -29,6 +29,10 @@
 #include "src/util/rng.h"
 #include "src/util/units.h"
 
+namespace hogsim::check {
+class Auditor;
+}  // namespace hogsim::check
+
 namespace hogsim::grid {
 
 using GridNodeId = std::uint32_t;
@@ -228,10 +232,16 @@ class Grid {
   std::uint64_t zombie_events() const { return zombie_events_; }
 
  private:
+  // The invariant auditor (src/check) reads — never mutates — the node
+  // table and census counters to cross-check them against node states.
+  friend class ::hogsim::check::Auditor;
+
   struct Site {
     SiteConfig config;
     net::SiteId net_site;
-    int active = 0;  // queued + starting + running + zombie leases
+    // Queued + starting + running leases (zombies left the site's pool:
+    // the batch slot was reclaimed even though the daemons escaped).
+    int active = 0;
     std::uint64_t hostname_counter = 0;
     sim::EventHandle burst_event;
     Rng rng{0};

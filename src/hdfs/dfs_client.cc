@@ -20,7 +20,33 @@ void DfsOp::Cancel() {
 }
 
 DfsClient::DfsClient(Namenode& namenode)
-    : nn_(namenode), sim_(namenode.simulation()), net_(namenode.network()) {}
+    : nn_(namenode),
+      sim_(namenode.simulation()),
+      net_(namenode.network()),
+      ins_(namenode.simulation().obs().metrics()) {}
+
+namespace {
+
+// Pipeline-recovery backoff: min(cap, base * 2^n) plus jitter so that the
+// many clients a site-scale preemption hits do not all re-ask the namenode
+// in the same tick. The jitter draw is derived from (block, retry) alone —
+// it never touches a run RNG, so recovery does not perturb the draw
+// sequence any other component sees.
+constexpr SimDuration kRecoveryBackoffBase = kSecond / 2;
+constexpr SimDuration kRecoveryBackoffCap = 8 * kSecond;
+
+SimDuration RecoveryDelay(BlockId block, int retry) {
+  SimDuration backoff = kRecoveryBackoffBase;
+  for (int i = 0; i < retry && backoff < kRecoveryBackoffCap; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, kRecoveryBackoffCap);
+  Rng jitter(0x7F4A7C15ull ^ (static_cast<std::uint64_t>(block) << 8) ^
+             static_cast<std::uint64_t>(retry));
+  return backoff + jitter.UniformInt(0, kRecoveryBackoffBase - 1);
+}
+
+}  // namespace
 
 DfsOp DfsClient::ReadBlock(net::NodeId reader, BlockId block,
                            ReadCallback done) {
@@ -251,7 +277,11 @@ void DfsClient::RunPipeline(std::shared_ptr<DfsOp::State> state,
     std::vector<net::FlowId> flows;
     std::vector<storage::FairQueue::OpId> writes;
     std::vector<char> succeeded;
+    std::vector<char> recovering;  // hop waiting out a recovery backoff
+    std::vector<char> replaced;    // hop's target was swapped at least once
+    std::vector<sim::EventHandle> retries;
     int outstanding = 0;
+    int recoveries = 0;  // replacement budget consumed
   };
   auto p = std::make_shared<Pipeline>();
   p->block = nn_.AllocateBlock(file, size);
@@ -259,6 +289,9 @@ void DfsClient::RunPipeline(std::shared_ptr<DfsOp::State> state,
   p->flows.assign(targets.size(), net::kInvalidFlow);
   p->writes.assign(targets.size(), storage::FairQueue::kInvalidOp);
   p->succeeded.assign(targets.size(), 0);
+  p->recovering.assign(targets.size(), 0);
+  p->replaced.assign(targets.size(), 0);
+  p->retries.assign(targets.size(), {});
   p->outstanding = static_cast<int>(targets.size());
 
   auto settle = [this, state, p, writer, file, size, attempt, done,
@@ -291,8 +324,10 @@ void DfsClient::RunPipeline(std::shared_ptr<DfsOp::State> state,
 
   state->abort = [this, p, size] {
     for (std::size_t i = 0; i < p->targets.size(); ++i) {
+      if (p->retries[i].pending()) sim_.Cancel(p->retries[i]);
       const bool pending = p->flows[i] != net::kInvalidFlow ||
-                           p->writes[i] != storage::FairQueue::kInvalidOp;
+                           p->writes[i] != storage::FairQueue::kInvalidOp ||
+                           p->recovering[i];
       if (p->flows[i] != net::kInvalidFlow) net_.CancelFlow(p->flows[i]);
       Datanode* daemon = nn_.datanode(p->targets[i]).daemon;
       if (daemon == nullptr) continue;
@@ -300,44 +335,138 @@ void DfsClient::RunPipeline(std::shared_ptr<DfsOp::State> state,
         daemon->disk().Cancel(p->writes[i]);
       }
       // Release reservations for hops that completed (the block is being
-      // abandoned) or were still in flight; settled failures already
+      // abandoned), were still in flight, or held a replacement
+      // reservation across a recovery backoff; settled failures already
       // released theirs.
       if (p->succeeded[i] || pending) daemon->disk().Release(size);
     }
     nn_.AbandonBlock(p->block);
   };
 
+  // Hop launch / recovery machinery. `launch` streams hop i from its
+  // nearest live upstream member and writes to the hop target's disk;
+  // `recover` swaps a failed hop's target for a namenode-chosen
+  // replacement and relaunches after a capped exponential backoff. The
+  // two reference each other weakly: strong references live only in
+  // in-flight flow callbacks and scheduled retry events, so the pair frees
+  // itself once the pipeline settles (cf. UploadFile's continuation).
+  auto launch = std::make_shared<std::function<void(std::size_t)>>();
+  auto recover = std::make_shared<std::function<void(std::size_t)>>();
+
+  // The nearest upstream member with a settled or in-flight replica (the
+  // writer if none): where a relaunched hop streams from.
+  auto upstream = [this, p, writer](std::size_t i) -> net::NodeId {
+    for (std::size_t j = i; j-- > 0;) {
+      const bool active = p->flows[j] != net::kInvalidFlow ||
+                          p->writes[j] != storage::FairQueue::kInvalidOp;
+      if (p->succeeded[j] || active) return nn_.datanode(p->targets[j]).net_node;
+    }
+    return writer;
+  };
+
+  *recover = [this, state, p, writer, size, settle,
+              weak_launch = std::weak_ptr<std::function<void(std::size_t)>>(
+                  launch),
+              weak_self = std::weak_ptr<std::function<void(std::size_t)>>(
+                  recover)](std::size_t i) {
+    if (state->cancelled) return;
+    auto launch_fn = weak_launch.lock();
+    auto self = weak_self.lock();
+    // Budget spent, master down, or the machinery gone: drop the replica
+    // and let the block commit with the surviving members.
+    if (launch_fn == nullptr || p->recoveries >= kMaxPipelineRecoveries ||
+        !nn_.available()) {
+      ins_.recovery_failed.Add();
+      settle(i, false);
+      return;
+    }
+    const std::vector<DatanodeId> replacement =
+        nn_.ChooseTargets(1, nn_.DatanodeAt(writer), p->targets, size);
+    if (replacement.empty() ||
+        !nn_.datanode(replacement.front()).daemon->disk().Reserve(size)) {
+      ins_.recovery_failed.Add();
+      settle(i, false);
+      return;
+    }
+    // The failed member keeps no reservation; the replacement holds one
+    // from here on (the abort path knows via `recovering`).
+    Datanode* old = nn_.datanode(p->targets[i]).daemon;
+    if (old != nullptr) old->disk().Release(size);
+    p->targets[i] = replacement.front();
+    p->replaced[i] = 1;
+    p->recovering[i] = 1;
+    const int retry = p->recoveries++;
+    p->retries[i] = sim_.ScheduleAfter(
+        RecoveryDelay(p->block, retry), [state, p, i, launch_fn, self] {
+          (void)self;  // holds the recover closure across the backoff
+          if (state->cancelled) return;
+          p->recovering[i] = 0;
+          (*launch_fn)(i);
+        });
+  };
+
+  *launch = [this, state, p, size, settle, upstream,
+             weak_self = std::weak_ptr<std::function<void(std::size_t)>>(
+                 launch),
+             weak_recover = std::weak_ptr<std::function<void(std::size_t)>>(
+                 recover)](std::size_t i) {
+    auto recover_fn = weak_recover.lock();
+    auto self = weak_self.lock();
+    const net::NodeId from = upstream(i);
+    const net::NodeId to = nn_.datanode(p->targets[i]).net_node;
+    p->flows[i] = net_.StartFlow(
+        from, to, size,
+        [this, p, i, size, state, settle, recover_fn, self](bool ok) {
+          (void)self;  // keeps the launch/recover pair alive while in flight
+          if (state->cancelled) return;
+          p->flows[i] = net::kInvalidFlow;
+          Datanode* daemon = nn_.datanode(p->targets[i]).daemon;
+          if (!ok || daemon == nullptr || !daemon->can_serve()) {
+            ins_.hop_failed.Add();
+            if (recover_fn != nullptr) {
+              (*recover_fn)(i);
+            } else {
+              settle(i, false);
+            }
+            return;
+          }
+          const auto op = daemon->disk().Write(
+              size, [this, settle, recover_fn, self, p, i] {
+                (void)self;
+                // The ack of a member that died (or zombified) while the
+                // block was still hitting its platters never reaches the
+                // client — re-validate before counting the replica.
+                Datanode* now = nn_.datanode(p->targets[i]).daemon;
+                if (now == nullptr || !now->can_serve()) {
+                  ins_.hop_failed.Add();
+                  if (recover_fn != nullptr) {
+                    (*recover_fn)(i);
+                  } else {
+                    settle(i, false);
+                  }
+                  return;
+                }
+                if (p->replaced[i]) ins_.recovered.Add();
+                settle(i, true);
+              });
+          if (op == storage::FairQueue::kInvalidOp) {
+            ins_.hop_failed.Add();
+            if (recover_fn != nullptr) {
+              (*recover_fn)(i);
+            } else {
+              settle(i, false);
+            }
+            return;
+          }
+          p->writes[i] = op;
+        });
+  };
+
   // Launch every hop of the pipeline. Hop i streams from the previous
   // pipeline member (the writer for hop 0); the hop's target then writes
   // the block to its local disk. Hops run concurrently, approximating
   // HDFS's cut-through pipelining.
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    const net::NodeId from =
-        i == 0 ? writer : nn_.datanode(targets[i - 1]).net_node;
-    const net::NodeId to = nn_.datanode(targets[i]).net_node;
-    p->flows[i] = net_.StartFlow(from, to, size, [this, p, i, size, state,
-                                                  settle](bool ok) {
-      if (state->cancelled) return;
-      p->flows[i] = net::kInvalidFlow;
-      if (!ok) {
-        settle(i, false);
-        return;
-      }
-      Datanode* daemon = nn_.datanode(p->targets[i]).daemon;
-      if (daemon == nullptr || !daemon->can_serve()) {
-        settle(i, false);
-        return;
-      }
-      const auto op = daemon->disk().Write(size, [settle, i] {
-        settle(i, true);
-      });
-      if (op == storage::FairQueue::kInvalidOp) {
-        settle(i, false);
-        return;
-      }
-      p->writes[i] = op;
-    });
-  }
+  for (std::size_t i = 0; i < targets.size(); ++i) (*launch)(i);
 }
 
 }  // namespace hogsim::hdfs

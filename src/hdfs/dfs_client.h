@@ -50,10 +50,15 @@ class DfsClient {
   DfsOp ReadBlock(net::NodeId reader, BlockId block, ReadCallback done);
 
   /// Writes one `size`-byte block of `file` from `reader`'s position
-  /// through a replication pipeline (client -> dn1 -> dn2 -> ...). Targets
-  /// that fail mid-pipeline are dropped; the block commits with the
-  /// successful prefix. `done(false)` only if no replica at all was
-  /// written (after `max_write_attempts` fresh-target retries).
+  /// through a replication pipeline (client -> dn1 -> dn2 -> ...). A
+  /// target that fails mid-pipeline is replaced: the client asks the
+  /// namenode for a substitute (excluding current members) and retries
+  /// that hop from the nearest surviving upstream member after a capped
+  /// exponential backoff with jitter. Only when no replacement exists (or
+  /// the per-pipeline recovery budget is spent) is the replica dropped and
+  /// the block committed with the successful members. `done(false)` only
+  /// if no replica at all was written (after `max_write_attempts`
+  /// fresh-target retries).
   DfsOp WriteBlock(net::NodeId writer, FileId file, Bytes size,
                    Callback done);
 
@@ -74,6 +79,18 @@ class DfsClient {
 
  private:
   struct ReadAttempt;
+
+  // Observability handles, registered once at construction (obs/metrics.h).
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& m)
+        : hop_failed(m.GetCounter("hdfs.pipeline.hop_failed")),
+          recovered(m.GetCounter("hdfs.pipeline.recovered")),
+          recovery_failed(m.GetCounter("hdfs.pipeline.recovery_failed")) {}
+    obs::Counter& hop_failed;
+    obs::Counter& recovered;
+    obs::Counter& recovery_failed;
+  };
+
   void TryReadReplica(std::shared_ptr<DfsOp::State> state,
                       net::NodeId reader, BlockId block,
                       std::vector<DatanodeId> order, std::size_t index,
@@ -84,9 +101,13 @@ class DfsClient {
   Namenode& nn_;
   sim::Simulation& sim_;
   net::FlowNetwork& net_;
+  Instruments ins_;
   Bytes remote_read_bytes_ = 0;
   Bytes local_read_bytes_ = 0;
   static constexpr int kMaxWriteAttempts = 3;
+  /// Replacement-target budget per pipeline; bounds recovery work when a
+  /// storm keeps killing members faster than the client can patch around.
+  static constexpr int kMaxPipelineRecoveries = 4;
 };
 
 }  // namespace hogsim::hdfs

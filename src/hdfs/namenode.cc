@@ -157,9 +157,11 @@ void Namenode::DeclareDead(DatanodeId id) {
     auto it = blocks_.find(b);
     if (it == blocks_.end()) continue;
     it->second.holders.erase(id);
-    if (it->second.holders.empty() && it->second.pending_replications == 0 &&
-        on_block_missing_) {
-      on_block_missing_(b);
+    if (it->second.holders.empty() && it->second.pending_replications == 0) {
+      HOG_LOG(kWarn, sim_.now(), "namenode")
+          << "block " << b << " of " << files_[it->second.file].name
+          << " lost: last replica was on " << entry.hostname;
+      if (on_block_missing_) on_block_missing_(b);
     }
     UpdateNeeded(b);
   }
@@ -220,7 +222,7 @@ void Namenode::DeleteFile(FileId file) {
       entry.blocks.erase(b);
       if (entry.daemon != nullptr) entry.daemon->disk().Release(it->second.size);
     }
-    needed_.erase(b);
+    needed_.Erase(b);
     blocks_.erase(it);
   }
   info.blocks.clear();
@@ -300,9 +302,22 @@ void Namenode::CommitBlock(BlockId block,
   if (it == blocks_.end()) return;  // file deleted mid-write
   it->second.committed = true;
   for (DatanodeId dn : holders) {
+    // A pipeline member can die between its successful write and the
+    // client's commit. Recording it anyway would leave a phantom replica
+    // on a dead entry that UpdateNeeded counts as live, suppressing
+    // re-replication of this block forever. Drop it; if the node ever
+    // revives, the replication monitor conservatively re-creates the copy.
+    if (!datanodes_[dn].alive) continue;
     it->second.holders.insert(dn);
     datanodes_[dn].blocks.insert(block);
     ins_.block_placed.Add();
+  }
+  if (it->second.holders.empty() && it->second.pending_replications == 0) {
+    // Every pipeline member died before the commit landed.
+    HOG_LOG(kWarn, sim_.now(), "namenode")
+        << "block " << block << " of " << files_[it->second.file].name
+        << " committed with no surviving pipeline member";
+    if (on_block_missing_) on_block_missing_(block);
   }
   UpdateNeeded(block);
 }
@@ -313,7 +328,7 @@ void Namenode::AbandonBlock(BlockId block) {
   assert(it->second.holders.empty());
   auto& file_blocks = files_[it->second.file].blocks;
   std::erase(file_blocks, block);
-  needed_.erase(block);
+  needed_.Erase(block);
   blocks_.erase(it);
 }
 
@@ -386,8 +401,10 @@ bool Namenode::DecommissionReady(DatanodeId dn) const {
     if (it == blocks_.end()) continue;
     int healthy = 0;
     for (DatanodeId holder : it->second.holders) {
-      const DatanodeEntry& h = datanodes_[holder];
-      if (h.alive && !h.decommissioning) ++healthy;
+      // Serving(), not .alive: a zombie heartbeats and so looks alive to
+      // the namenode, but its disk is gone — shutting this node down on
+      // the strength of a zombie copy would lose the block.
+      if (Serving(holder) && !datanodes_[holder].decommissioning) ++healthy;
     }
     if (healthy < it->second.replication) return false;
   }
@@ -404,7 +421,9 @@ std::size_t Namenode::missing_blocks() const {
   for (const auto& [id, info] : blocks_) {
     if (!info.committed) continue;
     bool any = false;
-    for (DatanodeId dn : info.holders) any |= datanodes_[dn].alive;
+    // Serving(), not .alive: a replica on a zombie (process up, disk gone)
+    // cannot actually be read back, so it must not mask a missing block.
+    for (DatanodeId dn : info.holders) any |= Serving(dn);
     if (!any) ++count;
   }
   return count;
@@ -420,7 +439,7 @@ bool Namenode::Serving(DatanodeId id) const {
 void Namenode::UpdateNeeded(BlockId block) {
   auto it = blocks_.find(block);
   if (it == blocks_.end()) {
-    needed_.erase(block);
+    needed_.Erase(block);
     return;
   }
   const BlockInfo& info = it->second;
@@ -432,24 +451,26 @@ void Namenode::UpdateNeeded(BlockId block) {
   }
   const int effective = counted + info.pending_replications;
   if (effective < info.replication && !info.holders.empty()) {
-    needed_.insert(block);
+    // Priority is keyed by surviving replicas alone: a block at one live
+    // copy stays critical even while a repair is already in flight.
+    needed_.Insert(block, ReplicationQueue::LevelFor(counted, info.replication));
   } else {
-    needed_.erase(block);
+    needed_.Erase(block);
   }
   ins_.blocks_under_replicated.Set(static_cast<double>(needed_.size()));
+  ins_.blocks_critical.Set(
+      static_cast<double>(needed_.level_size(ReplicationQueue::kCritical)));
 }
 
 void Namenode::ReplicationScan() {
   AbortStaleTransfers();
   // Bounded work per scan keeps large failure storms O(1) per tick; the
   // queue drains over successive scans, throttled by per-node streams.
+  // The budget goes to the most endangered blocks first: after a
+  // site-scale storm, blocks one failure from loss repair before blocks
+  // merely short of their tenth replica.
   constexpr std::size_t kMaxAttemptsPerScan = 512;
-  std::vector<BlockId> batch;
-  batch.reserve(std::min(needed_.size(), kMaxAttemptsPerScan));
-  for (BlockId b : needed_) {
-    if (batch.size() >= kMaxAttemptsPerScan) break;
-    batch.push_back(b);
-  }
+  const std::vector<BlockId> batch = needed_.Collect(kMaxAttemptsPerScan);
   for (BlockId b : batch) TryScheduleReplication(b);
 }
 
@@ -464,12 +485,22 @@ bool Namenode::TryScheduleReplication(BlockId block) {
   const int deficit = info.replication - counted - info.pending_replications;
   if (deficit <= 0 || info.holders.empty()) return false;
 
+  // Endangered blocks may exceed the soft stream throttle up to the hard
+  // cap (HDFS's two-tier limit). After a site-scale storm every surviving
+  // holder is saturated sourcing routine repairs; a single cap starves
+  // exactly the blocks closest to loss while their sources die under them.
+  const int stream_cap =
+      ReplicationQueue::LevelFor(counted, info.replication) <=
+              ReplicationQueue::kBadly
+          ? config_.max_replication_streams_hard
+          : config_.max_replication_streams;
+
   // Source: a serving replica with a free outbound stream.
   DatanodeId src = kInvalidDatanode;
   std::vector<DatanodeId> holders(info.holders.begin(), info.holders.end());
   std::sort(holders.begin(), holders.end());
   for (DatanodeId dn : holders) {
-    if (Serving(dn) && datanodes_[dn].repl_out < config_.max_replication_streams) {
+    if (Serving(dn) && datanodes_[dn].repl_out < stream_cap) {
       src = dn;
       break;
     }
@@ -488,7 +519,7 @@ bool Namenode::TryScheduleReplication(BlockId block) {
                              rng_);
   if (targets.empty()) return false;
   const DatanodeId dst = targets.front();
-  if (datanodes_[dst].repl_in >= config_.max_replication_streams) return false;
+  if (datanodes_[dst].repl_in >= stream_cap) return false;
   if (!datanodes_[dst].daemon->disk().Reserve(info.size)) return false;
 
   const std::uint64_t tid = next_transfer_++;
@@ -571,7 +602,20 @@ void Namenode::FinishTransfer(std::uint64_t transfer_id, bool ok) {
     if (datanodes_[t.dst].daemon != nullptr && size > 0) {
       datanodes_[t.dst].daemon->disk().Release(size);
     }
-    if (block_live) UpdateNeeded(t.block);
+    if (block_live) {
+      // The source may have died mid-copy; if this was the last repair in
+      // flight for a holder-less block, the data is now unrecoverable.
+      // DeclareDead skipped the missing callback because a repair was
+      // pending — report it here, when the last hope actually fails.
+      if (bit->second.holders.empty() &&
+          bit->second.pending_replications == 0) {
+        HOG_LOG(kWarn, sim_.now(), "namenode")
+            << "block " << t.block << " of " << files_[bit->second.file].name
+            << " lost: last replica died mid-repair";
+        if (on_block_missing_) on_block_missing_(t.block);
+      }
+      UpdateNeeded(t.block);
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/hdfs/placement.h"
+#include "src/hdfs/replication_queue.h"
 #include "src/hdfs/topology.h"
 #include "src/hdfs/types.h"
 #include "src/net/flow_network.h"
@@ -23,6 +24,10 @@
 #include "src/sim/simulation.h"
 #include "src/storage/disk.h"
 #include "src/util/rng.h"
+
+namespace hogsim::check {
+class Auditor;
+}  // namespace hogsim::check
 
 namespace hogsim::hdfs {
 
@@ -143,6 +148,13 @@ class Namenode final : public ClusterView {
   bool BlockExists(BlockId block) const {
     return blocks_.contains(block);
   }
+  /// True once the client's write pipeline committed the block. An
+  /// allocated-but-uncommitted block is an in-flight (or abandoned) write,
+  /// not acknowledged data.
+  bool BlockCommitted(BlockId block) const {
+    auto it = blocks_.find(block);
+    return it != blocks_.end() && it->second.committed;
+  }
 
   // ---- ClusterView --------------------------------------------------------
 
@@ -152,7 +164,9 @@ class Namenode final : public ClusterView {
   // ---- Introspection / metrics -------------------------------------------
 
   std::size_t under_replicated() const { return needed_.size(); }
-  /// Blocks with zero live replicas right now.
+  /// The prioritized under-replication queue (per-level introspection).
+  const ReplicationQueue& replication_queue() const { return needed_; }
+  /// Blocks with zero serving replicas right now.
   std::size_t missing_blocks() const;
   std::uint64_t replications_completed() const {
     return replications_completed_;
@@ -173,6 +187,11 @@ class Namenode final : public ClusterView {
   }
 
  private:
+  // The invariant auditor (src/check) reads — never mutates — the block
+  // map, datanode entries, and transfer ledger to cross-check them against
+  // datanode and client state.
+  friend class ::hogsim::check::Auditor;
+
   struct BlockInfo {
     FileId file = kInvalidFile;
     Bytes size = 0;
@@ -211,6 +230,8 @@ class Namenode final : public ClusterView {
           datanodes_live(m.GetGauge("hdfs.datanodes.live")),
           blocks_under_replicated(
               m.GetGauge("hdfs.blocks.under_replicated")),
+          blocks_critical(
+              m.GetGauge("hdfs.blocks.under_replicated_critical")),
           detection_latency_s(
               m.GetHistogram("hdfs.deadnode.detection_latency_s")) {}
     obs::Counter& heartbeat_received;
@@ -220,6 +241,7 @@ class Namenode final : public ClusterView {
     obs::Counter& replication_failed;
     obs::Gauge& datanodes_live;
     obs::Gauge& blocks_under_replicated;
+    obs::Gauge& blocks_critical;
     obs::Histogram& detection_latency_s;
   };
 
@@ -247,7 +269,7 @@ class Namenode final : public ClusterView {
   std::unordered_map<BlockId, BlockInfo> blocks_;
   BlockId next_block_ = 1;
 
-  std::set<BlockId> needed_;  // under-replicated queue (ordered: determinism)
+  ReplicationQueue needed_;  // prioritized under-replicated queue
   std::unordered_map<std::uint64_t, Transfer> transfers_;
   /// In-flight re-replication destinations per block (exclusion lookups).
   std::unordered_multimap<BlockId, DatanodeId> pending_targets_;

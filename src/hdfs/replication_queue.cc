@@ -1,0 +1,34 @@
+#include "src/hdfs/replication_queue.h"
+
+namespace hogsim::hdfs {
+
+void ReplicationQueue::Insert(BlockId block, Level level) {
+  auto [it, inserted] = level_of_.try_emplace(block, level);
+  if (!inserted) {
+    if (it->second == level) return;
+    levels_[it->second].erase(block);
+    it->second = level;
+  }
+  levels_[level].insert(block);
+}
+
+void ReplicationQueue::Erase(BlockId block) {
+  auto it = level_of_.find(block);
+  if (it == level_of_.end()) return;
+  levels_[it->second].erase(block);
+  level_of_.erase(it);
+}
+
+std::vector<BlockId> ReplicationQueue::Collect(std::size_t budget) const {
+  std::vector<BlockId> out;
+  out.reserve(std::min(budget, size()));
+  for (const std::set<BlockId>& level : levels_) {
+    for (BlockId b : level) {
+      if (out.size() >= budget) return out;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace hogsim::hdfs

@@ -1,0 +1,72 @@
+// Prioritized under-replication queue, modeled on HDFS's
+// UnderReplicatedBlocks: blocks are bucketed by how close they are to data
+// loss, and the replication monitor spends its per-scan budget on the most
+// endangered bucket first. A block one failure away from loss (a single
+// surviving replica, or replicas surviving only on decommissioning nodes)
+// re-replicates before a block at 9 of 10.
+//
+// Determinism: each level is an ordered std::set, so a scan visits blocks
+// in (level, BlockId) order — no iteration-order dependence on hashing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hdfs/types.h"
+
+namespace hogsim::hdfs {
+
+class ReplicationQueue {
+ public:
+  /// Priority levels, most endangered first.
+  ///   kCritical — at most one replica survives on a live,
+  ///               non-decommissioning node (next failure loses the block);
+  ///   kBadly    — half or more of the target redundancy is gone. With
+  ///               replication 10 spread over ~5 sites, five lost replicas
+  ///               usually means whole failure domains' worth of copies
+  ///               are gone, not scattered stragglers;
+  ///   kNormal   — under-replicated but comfortably redundant.
+  enum Level : int { kCritical = 0, kBadly = 1, kNormal = 2 };
+  static constexpr int kLevels = 3;
+
+  /// Computes the level for a block with `live` counted replicas against a
+  /// `replication` target. Callers decide *whether* the block belongs in
+  /// the queue; this only ranks it.
+  static Level LevelFor(int live, int replication) {
+    if (live <= 1) return kCritical;
+    if (live * 2 <= replication) return kBadly;
+    return kNormal;
+  }
+
+  /// Inserts `block` at `level`, moving it if it was queued at another
+  /// level. Re-inserting at the same level is a no-op.
+  void Insert(BlockId block, Level level);
+
+  /// Removes `block` from whichever level holds it (no-op if absent).
+  void Erase(BlockId block);
+
+  bool contains(BlockId block) const { return level_of_.contains(block); }
+
+  /// Level the block is queued at, or -1 if absent.
+  int level_of(BlockId block) const {
+    auto it = level_of_.find(block);
+    return it == level_of_.end() ? -1 : it->second;
+  }
+
+  std::size_t size() const { return level_of_.size(); }
+  bool empty() const { return level_of_.empty(); }
+  std::size_t level_size(Level level) const { return levels_[level].size(); }
+
+  /// Up to `budget` blocks, most endangered first, BlockId order within a
+  /// level — the replication monitor's scan batch.
+  std::vector<BlockId> Collect(std::size_t budget) const;
+
+ private:
+  std::array<std::set<BlockId>, kLevels> levels_;
+  std::unordered_map<BlockId, int> level_of_;
+};
+
+}  // namespace hogsim::hdfs

@@ -47,6 +47,12 @@ struct HdfsConfig {
   /// Max concurrent re-replication transfers a single node sources or
   /// sinks (dfs.max-repl-streams in Hadoop).
   int max_replication_streams = 2;
+  /// Ceiling the soft limit may be exceeded up to when the block being
+  /// repaired is endangered (critical or badly under-replicated — HDFS's
+  /// two-tier replication-streams throttle). After a site-scale storm
+  /// every survivor is saturated with routine repairs; without the second
+  /// tier the blocks closest to loss starve behind them.
+  int max_replication_streams_hard = 4;
   /// How often the replication monitor scans the needed-replication queue.
   SimDuration replication_scan_interval = 3 * kSecond;
 

@@ -84,6 +84,7 @@ void JobTracker::Restart() {
         entry.alive = true;
         ++live_trackers_;
         ins_.trackers_live.Set(live_trackers_);
+        ForgiveTracker(id);
       }
     } else if (entry.alive) {
       DeclareLost(id);
@@ -98,7 +99,46 @@ void JobTracker::Restart() {
   for (const auto& [job, map_index] : fetch_failures) {
     ReportFetchFailure(job, map_index);
   }
+  // Normalize the in-flight jobs before scheduling resumes, so the first
+  // post-restart heartbeat sees the same pending order regardless of how
+  // the blackout interleaved losses and queued reports.
+  ReadmitJobs();
   Start();
+}
+
+void JobTracker::ForgiveTracker(TrackerId id) {
+  for (JobInfo& job : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    job.tracker_failures.erase(id);
+    if (job.blacklist.erase(id) > 0) {
+      --blacklist_active_;
+    }
+  }
+  ins_.blacklist_active.Set(blacklist_active_);
+}
+
+void JobTracker::ReadmitJobs() {
+  for (JobInfo& job : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    const auto rebuild = [&job](std::vector<int>& pending,
+                                std::vector<TaskInfo>& tasks,
+                                const auto& needs) {
+      pending.clear();
+      for (TaskInfo& task : tasks) {
+        if (needs(job, task)) pending.push_back(task.index);
+      }
+    };
+    const auto needs = [this](const JobInfo& j, const TaskInfo& t) {
+      return TaskNeedsAttempt(j, t);
+    };
+    rebuild(job.pending_maps, job.maps, needs);
+    rebuild(job.pending_reduces, job.reduces, needs);
+  }
+}
+
+void JobTracker::RetireBlacklist(JobInfo& job) {
+  blacklist_active_ -= static_cast<int>(job.blacklist.size());
+  ins_.blacklist_active.Set(blacklist_active_);
 }
 
 void JobTracker::Heartbeat(TrackerId id) {
@@ -112,6 +152,9 @@ void JobTracker::Heartbeat(TrackerId id) {
     ins_.trackers_live.Set(live_trackers_);
     sim_.obs().tracer().EmitCounter("mr", "trackers.live", sim_.now(),
                                     live_trackers_);
+    // Re-registration after expiry: the glidein reincarnated, so its
+    // blacklist entries describe a process that no longer exists.
+    ForgiveTracker(id);
   }
   ScheduleOn(id);
 }
@@ -675,7 +718,10 @@ void JobTracker::HandleFailure(const AttemptReport& report) {
   // Per-job tracker blacklisting (mapred.max.tracker.failures).
   const int tracker_fails = ++job.tracker_failures[record.tracker];
   if (tracker_fails >= config_.tracker_blacklist_failures) {
-    job.blacklist.insert(record.tracker);
+    if (job.blacklist.insert(record.tracker).second) {
+      ++blacklist_active_;
+      ins_.blacklist_active.Set(blacklist_active_);
+    }
   }
 
   HOG_LOG(kDebug, sim_.now(), "jobtracker")
@@ -758,6 +804,7 @@ void JobTracker::MaybeCompleteJob(JobInfo& job) {
   job.state = JobState::kSucceeded;
   job.finished = sim_.now();
   --running_jobs_;
+  RetireBlacklist(job);
   ins_.job_succeeded.Add();
   ins_.jobs_running.Set(running_jobs_);
   sim_.obs().tracer().EmitSpan("mr", "job", job.submitted,
@@ -779,6 +826,7 @@ void JobTracker::FailJob(JobInfo& job) {
   job.state = JobState::kFailed;
   job.finished = sim_.now();
   --running_jobs_;
+  RetireBlacklist(job);
   ins_.job_failed.Add();
   ins_.jobs_running.Set(running_jobs_);
   sim_.obs().tracer().EmitSpan("mr", "job.failed", job.submitted,

@@ -25,6 +25,10 @@
 #include "src/sim/simulation.h"
 #include "src/util/stats.h"
 
+namespace hogsim::check {
+class Auditor;
+}  // namespace hogsim::check
+
 namespace hogsim::mr {
 
 enum class JobState { kRunning, kSucceeded, kFailed };
@@ -180,6 +184,8 @@ class JobTracker {
   // ---- Introspection --------------------------------------------------------
 
   int live_trackers() const { return live_trackers_; }
+  /// Blacklist entries across running jobs (the mr.blacklist.active gauge).
+  int blacklisted_entries() const { return blacklist_active_; }
   std::uint64_t trackers_declared_lost() const { return trackers_lost_; }
   std::uint64_t maps_reexecuted() const { return maps_reexecuted_; }
   std::uint64_t speculative_attempts() const { return speculative_attempts_; }
@@ -202,6 +208,11 @@ class JobTracker {
   std::size_t tracker_count() const { return trackers_.size(); }
 
  private:
+  // The invariant auditor (src/check) reads — never mutates — tracker
+  // entries, job state, and the attempt ledger to cross-check slot and
+  // attempt accounting.
+  friend class ::hogsim::check::Auditor;
+
   struct AttemptRecord {
     JobId job = kInvalidJob;
     TaskType type = TaskType::kMap;
@@ -229,6 +240,7 @@ class JobTracker {
           job_failed(m.GetCounter("mr.job.failed")),
           trackers_live(m.GetGauge("mr.trackers.live")),
           jobs_running(m.GetGauge("mr.jobs.running")),
+          blacklist_active(m.GetGauge("mr.blacklist.active")),
           attempt_duration_s(m.GetHistogram("mr.attempt.duration_s")) {}
     obs::Counter& attempt_launched;
     obs::Counter& attempt_succeeded;
@@ -244,11 +256,23 @@ class JobTracker {
     obs::Counter& job_failed;
     obs::Gauge& trackers_live;
     obs::Gauge& jobs_running;
+    obs::Gauge& blacklist_active;
     obs::Histogram& attempt_duration_s;
   };
 
   void CheckTrackers();
   void DeclareLost(TrackerId id);
+  /// A tracker declared lost came back: the glidein reincarnated, so past
+  /// failures say nothing about the new process — drop its blacklist and
+  /// failure-count entries from every running job.
+  void ForgiveTracker(TrackerId id);
+  /// Deterministic post-blackout re-admission: rebuilds every running
+  /// job's pending lists as the sorted set of tasks that need attempts, so
+  /// post-restart scheduling order does not depend on the arrival order of
+  /// the replayed reports.
+  void ReadmitJobs();
+  /// Retires a finished job's blacklist entries from the active gauge.
+  void RetireBlacklist(JobInfo& job);
   void ScheduleOn(TrackerId id);  // per-heartbeat task assignment
   bool AssignMap(TrackerId id);
   bool AssignReduce(TrackerId id);
@@ -297,6 +321,7 @@ class JobTracker {
   std::vector<std::pair<JobId, int>> queued_fetch_failures_;
   int live_trackers_ = 0;
   int running_jobs_ = 0;
+  int blacklist_active_ = 0;  // blacklist entries across running jobs
   std::uint64_t trackers_lost_ = 0;
   std::uint64_t maps_reexecuted_ = 0;
   std::uint64_t speculative_attempts_ = 0;

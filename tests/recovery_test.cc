@@ -1,0 +1,531 @@
+// Tests for the self-healing stack: the prioritized re-replication queue,
+// zombie-aware missing/decommission accounting, DfsClient write-pipeline
+// recovery, blacklist forgiveness on tracker reincarnation, deterministic
+// jobtracker blackout recovery, the cross-layer invariant auditor, and the
+// seeded random chaos scenarios.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/check/auditor.h"
+#include "src/exp/paper_runs.h"
+#include "src/fault/random_scenario.h"
+#include "src/fault/scenario.h"
+#include "src/hdfs/datanode.h"
+#include "src/hdfs/dfs_client.h"
+#include "src/hdfs/namenode.h"
+#include "src/hdfs/placement.h"
+#include "src/hdfs/replication_queue.h"
+#include "src/hdfs/topology.h"
+#include "src/hog/hog_cluster.h"
+#include "src/mapreduce/jobtracker.h"
+#include "src/mapreduce/tasktracker.h"
+
+namespace hogsim {
+namespace {
+
+// ---- ReplicationQueue ------------------------------------------------------
+
+TEST(ReplicationQueue, LevelForRanksByDanger) {
+  using Q = hdfs::ReplicationQueue;
+  EXPECT_EQ(Q::LevelFor(0, 10), Q::kCritical);
+  EXPECT_EQ(Q::LevelFor(1, 10), Q::kCritical);
+  EXPECT_EQ(Q::LevelFor(1, 3), Q::kCritical);
+  EXPECT_EQ(Q::LevelFor(2, 10), Q::kBadly);
+  EXPECT_EQ(Q::LevelFor(5, 10), Q::kBadly);  // half the redundancy gone
+  EXPECT_EQ(Q::LevelFor(6, 10), Q::kNormal);
+  EXPECT_EQ(Q::LevelFor(2, 3), Q::kNormal);  // 2 of 3 is still a majority
+  EXPECT_EQ(Q::LevelFor(9, 10), Q::kNormal);
+}
+
+TEST(ReplicationQueue, InsertMoveEraseTracksLevels) {
+  hdfs::ReplicationQueue q;
+  q.Insert(7, hdfs::ReplicationQueue::kNormal);
+  EXPECT_TRUE(q.contains(7));
+  EXPECT_EQ(q.level_of(7), hdfs::ReplicationQueue::kNormal);
+  EXPECT_EQ(q.size(), 1u);
+  // A further failure escalates the block: it must move, not duplicate.
+  q.Insert(7, hdfs::ReplicationQueue::kCritical);
+  EXPECT_EQ(q.level_of(7), hdfs::ReplicationQueue::kCritical);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.level_size(hdfs::ReplicationQueue::kNormal), 0u);
+  q.Erase(7);
+  EXPECT_FALSE(q.contains(7));
+  EXPECT_EQ(q.level_of(7), -1);
+  EXPECT_TRUE(q.empty());
+  q.Erase(7);  // erase of an absent block is a no-op
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ReplicationQueue, CollectDrainsMostEndangeredFirst) {
+  hdfs::ReplicationQueue q;
+  q.Insert(30, hdfs::ReplicationQueue::kNormal);
+  q.Insert(20, hdfs::ReplicationQueue::kBadly);
+  q.Insert(11, hdfs::ReplicationQueue::kCritical);
+  q.Insert(10, hdfs::ReplicationQueue::kCritical);
+  q.Insert(21, hdfs::ReplicationQueue::kBadly);
+  const std::vector<hdfs::BlockId> all = q.Collect(10);
+  EXPECT_EQ(all, (std::vector<hdfs::BlockId>{10, 11, 20, 21, 30}));
+  // The scan budget is spent on the critical bucket before any other.
+  const std::vector<hdfs::BlockId> three = q.Collect(3);
+  EXPECT_EQ(three, (std::vector<hdfs::BlockId>{10, 11, 20}));
+}
+
+// ---- HDFS harness (compact copy of hdfs_test.cc's) -------------------------
+
+class HdfsHarness {
+ public:
+  HdfsHarness(int sites, int per_site, hdfs::HdfsConfig config,
+              Bytes disk = 10 * kGiB)
+      : net_(sim_) {
+    const net::SiteId central = net_.AddSite(Gbps(10));
+    master_ = net_.AddNode(central, Gbps(1));
+    nn_ = std::make_unique<hdfs::Namenode>(
+        sim_, net_, master_, hdfs::SiteAwarenessScript(),
+        hdfs::MakeSiteAwarePlacement(), Rng(7), config);
+    nn_->Start();
+    for (int s = 0; s < sites; ++s) {
+      const net::SiteId site = net_.AddSite(Gbps(2));
+      for (int n = 0; n < per_site; ++n) {
+        const net::NodeId node = net_.AddNode(site, Gbps(1));
+        disks_.push_back(
+            std::make_unique<storage::Disk>(sim_, disk, MiBps(60)));
+        const std::string hostname = "w" + std::to_string(n) + ".site" +
+                                     std::to_string(s) + ".edu";
+        daemons_.push_back(std::make_unique<hdfs::Datanode>(
+            sim_, net_, *nn_, hostname, node, *disks_.back()));
+        daemons_.back()->Start();
+      }
+    }
+    client_ = std::make_unique<hdfs::DfsClient>(*nn_);
+  }
+
+  sim::Simulation& sim() { return sim_; }
+  net::FlowNetwork& net() { return net_; }
+  hdfs::Namenode& nn() { return *nn_; }
+  hdfs::DfsClient& client() { return *client_; }
+  hdfs::Datanode& daemon(std::size_t i) { return *daemons_[i]; }
+
+ private:
+  sim::Simulation sim_;
+  net::FlowNetwork net_;
+  net::NodeId master_ = net::kInvalidNode;
+  std::unique_ptr<hdfs::Namenode> nn_;
+  std::unique_ptr<hdfs::DfsClient> client_;
+  std::vector<std::unique_ptr<storage::Disk>> disks_;
+  std::vector<std::unique_ptr<hdfs::Datanode>> daemons_;
+};
+
+// ---- Zombie-aware missing/decommission accounting --------------------------
+
+TEST(ZombieAccounting, ZombifiedSoleHolderCountsAsMissing) {
+  hdfs::HdfsConfig config;
+  config.default_replication = 1;
+  config.disk_check_interval = 0;  // no probe: the zombie lingers
+  HdfsHarness h(1, 2, config);
+  const hdfs::FileId file = h.nn().ImportFile("f", 64 * kMiB);
+  const auto loc = h.nn().GetFileBlocks(file)[0];
+  ASSERT_EQ(loc.datanodes.size(), 1u);
+  EXPECT_EQ(h.nn().missing_blocks(), 0u);
+  // The sole holder's disk dies but its process keeps heartbeating: the
+  // namenode still believes in the replica, yet nothing can serve it.
+  h.daemon(loc.datanodes[0]).EnterZombieMode();
+  EXPECT_EQ(h.nn().missing_blocks(), 1u)
+      << "a zombie copy must not mask a missing block";
+  // The belief itself is intact — the holder set still lists the zombie.
+  EXPECT_EQ(h.nn().BlockHolders(loc.block).size(), 1u);
+}
+
+TEST(ZombieAccounting, DecommissionNotReadyOnZombieCopy) {
+  hdfs::HdfsConfig config;
+  config.default_replication = 1;
+  config.disk_check_interval = 0;
+  HdfsHarness h(1, 2, config);
+  const hdfs::FileId file = h.nn().ImportFile("f", 64 * kMiB);
+  const auto loc = h.nn().GetFileBlocks(file)[0];
+  ASSERT_EQ(loc.datanodes.size(), 1u);
+  const hdfs::DatanodeId holder = loc.datanodes[0];
+  const hdfs::DatanodeId other = holder == 0 ? 1 : 0;
+
+  h.nn().StartDecommission(holder);
+  // The monitor evacuates the replica to the other node.
+  SimTime deadline = h.sim().now() + 10 * kMinute;
+  while (h.nn().BlockHolders(loc.block).size() < 2 &&
+         h.sim().now() < deadline) {
+    h.sim().RunUntil(h.sim().now() + kSecond);
+  }
+  ASSERT_EQ(h.nn().BlockHolders(loc.block).size(), 2u);
+  EXPECT_TRUE(h.nn().DecommissionReady(holder));
+  // The evacuated copy's disk dies (process still heartbeats): shutting
+  // the decommissioning node down now would lose the block.
+  h.daemon(other).EnterZombieMode();
+  EXPECT_FALSE(h.nn().DecommissionReady(holder))
+      << "a zombie copy must not satisfy decommission safety";
+}
+
+// ---- Write-pipeline recovery -----------------------------------------------
+
+TEST(PipelineRecovery, ReplacesDeadMemberAndCommitsFullWidth) {
+  hdfs::HdfsConfig config;
+  config.default_replication = 5;
+  config.heartbeat_recheck = 30 * kSecond;
+  // 8 nodes: the dead member also feeds its downstream hop, so BOTH need
+  // replacement targets outside the original pipeline.
+  HdfsHarness h(4, 2, config);
+  const hdfs::FileId file = h.nn().CreateFile("out");
+  bool done = false, ok = false;
+  // Write from datanode 0's node: replica 0 is writer-local, so killing
+  // node 0 mid-write is guaranteed to hit a pipeline member.
+  h.client().WriteBlock(h.nn().datanode(0).net_node, file, 256 * kMiB,
+                        [&](bool r) {
+                          done = true;
+                          ok = r;
+                        });
+  h.sim().ScheduleAfter(kSecond, [&] {
+    h.daemon(0).Shutdown();
+    h.net().FailFlowsAtNode(h.nn().datanode(0).net_node);
+  });
+  // Stop the moment the commit lands: the replication monitor must not get
+  // a chance to paper over a thin commit afterwards.
+  while (!done && h.sim().now() < 3 * kMinute) {
+    h.sim().RunUntil(h.sim().now() + 100 * kMillisecond);
+  }
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(ok);
+  const auto loc = h.nn().GetFileBlocks(file)[0];
+  EXPECT_EQ(loc.datanodes.size(), 5u)
+      << "recovery must replace the dead member, not shrink the commit";
+  EXPECT_EQ(std::find(loc.datanodes.begin(), loc.datanodes.end(),
+                      hdfs::DatanodeId{0}),
+            loc.datanodes.end());
+  EXPECT_GE(
+      h.sim().obs().metrics().GetCounter("hdfs.pipeline.recovered").value(),
+      1u);
+}
+
+TEST(PipelineRecovery, CommitsWithSurvivorsWhenNoReplacementExists) {
+  hdfs::HdfsConfig config;
+  config.default_replication = 2;
+  config.heartbeat_recheck = 30 * kSecond;
+  HdfsHarness h(1, 2, config);  // both nodes are in the pipeline; no spare
+  const hdfs::FileId file = h.nn().CreateFile("out");
+  bool done = false, ok = false;
+  h.client().WriteBlock(h.nn().master_node(), file, 256 * kMiB, [&](bool r) {
+    done = true;
+    ok = r;
+  });
+  h.sim().ScheduleAfter(kSecond, [&] {
+    h.daemon(1).Shutdown();
+    h.net().FailFlowsAtNode(h.nn().datanode(1).net_node);
+  });
+  while (!done && h.sim().now() < 3 * kMinute) {
+    h.sim().RunUntil(h.sim().now() + 100 * kMillisecond);
+  }
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(ok) << "no replacement available: commit the surviving member";
+  EXPECT_EQ(h.nn().GetFileBlocks(file)[0].datanodes.size(), 1u);
+  EXPECT_GE(h.sim()
+                .obs()
+                .metrics()
+                .GetCounter("hdfs.pipeline.recovery_failed")
+                .value(),
+            1u);
+}
+
+// ---- MapReduce harness (compact copy of mapreduce_test.cc's) ---------------
+
+class MrHarness {
+ public:
+  explicit MrHarness(int workers, mr::MrConfig mr_config = {},
+                     hdfs::HdfsConfig hdfs_config = {})
+      : net_(sim_) {
+    const net::SiteId site = net_.AddSite(Gbps(100));
+    master_ = net_.AddNode(site, Gbps(1));
+    nn_ = std::make_unique<hdfs::Namenode>(
+        sim_, net_, master_, hdfs::FlatTopology(),
+        hdfs::MakeDefaultPlacement(), Rng(11), hdfs_config);
+    nn_->Start();
+    jt_ = std::make_unique<mr::JobTracker>(sim_, net_, *nn_, master_,
+                                           hdfs::FlatTopology(), mr_config);
+    jt_->Start();
+    dfs_ = std::make_unique<hdfs::DfsClient>(*nn_);
+    for (int i = 0; i < workers; ++i) {
+      const net::NodeId node = net_.AddNode(site, Gbps(1));
+      disks_.push_back(
+          std::make_unique<storage::Disk>(sim_, 20 * kGiB, MiBps(80)));
+      const std::string hostname = "w" + std::to_string(i) + ".cluster.local";
+      datanodes_.push_back(std::make_unique<hdfs::Datanode>(
+          sim_, net_, *nn_, hostname, node, *disks_.back()));
+      datanodes_.back()->Start();
+      trackers_.push_back(std::make_unique<mr::TaskTracker>(
+          sim_, net_, *jt_, *dfs_, hostname, node, *disks_.back(), 2, 1));
+      trackers_.back()->Start();
+    }
+  }
+
+  mr::JobId Submit(Bytes input_bytes, int reduces,
+                   double map_rate_mibps = 20) {
+    mr::JobSpec spec;
+    spec.name = "job";
+    spec.input = nn_->ImportFile("in" + std::to_string(jt_->job_count()),
+                                 input_bytes);
+    spec.num_reduces = reduces;
+    spec.map_compute_rate = MiBps(map_rate_mibps);
+    spec.reduce_compute_rate = MiBps(map_rate_mibps);
+    return jt_->SubmitJob(spec);
+  }
+
+  bool RunToCompletion(SimTime deadline = 8 * kHour) {
+    while (!jt_->AllJobsDone() && sim_.now() < deadline) {
+      sim_.RunUntil(sim_.now() + kSecond);
+    }
+    return jt_->AllJobsDone();
+  }
+
+  sim::Simulation& sim() { return sim_; }
+  hdfs::Namenode& nn() { return *nn_; }
+  mr::JobTracker& jt() { return *jt_; }
+  mr::TaskTracker& tracker(std::size_t i) { return *trackers_[i]; }
+  hdfs::Datanode& datanode(std::size_t i) { return *datanodes_[i]; }
+
+ private:
+  sim::Simulation sim_;
+  net::FlowNetwork net_;
+  net::NodeId master_ = net::kInvalidNode;
+  std::unique_ptr<hdfs::Namenode> nn_;
+  std::unique_ptr<mr::JobTracker> jt_;
+  std::unique_ptr<hdfs::DfsClient> dfs_;
+  std::vector<std::unique_ptr<storage::Disk>> disks_;
+  std::vector<std::unique_ptr<hdfs::Datanode>> datanodes_;
+  std::vector<std::unique_ptr<mr::TaskTracker>> trackers_;
+};
+
+// ---- Blacklist forgiveness --------------------------------------------------
+
+TEST(Blacklist, ShrinksWhenTrackerReincarnates) {
+  mr::MrConfig config;
+  config.tracker_blacklist_failures = 4;
+  config.task_copies = 1;
+  config.tracker_expiry = 30 * kSecond;
+  // The zombie fails attempts fast; give tasks headroom to outlive the
+  // blacklisting threshold instead of exhausting their own attempt budget.
+  config.max_attempts = 12;
+  MrHarness h(4, config);
+  h.tracker(0).EnterZombieMode();
+  h.datanode(0).EnterZombieMode();
+  // A long job keeps the blacklist live while forgiveness is exercised.
+  const mr::JobId job = h.Submit(32 * 64 * kMiB, 2, /*map_rate_mibps=*/1);
+  SimTime deadline = h.sim().now() + kHour;
+  while (!h.jt().job(job).blacklist.contains(0) && h.sim().now() < deadline) {
+    h.sim().RunUntil(h.sim().now() + kSecond);
+  }
+  ASSERT_TRUE(h.jt().job(job).blacklist.contains(0));
+  EXPECT_EQ(h.jt().blacklisted_entries(), 1);
+  EXPECT_EQ(
+      h.sim().obs().metrics().GetGauge("mr.blacklist.active").value(), 1.0);
+
+  // The zombie process finally dies; expiry declares the tracker lost but
+  // the blacklist entries stay (the job is still running).
+  h.tracker(0).Shutdown();
+  h.sim().RunUntil(h.sim().now() + 2 * kMinute);
+  ASSERT_EQ(h.jt().job(job).state, mr::JobState::kRunning);
+  EXPECT_EQ(h.jt().blacklisted_entries(), 1);
+
+  // First heartbeat of the reincarnated glidein: the old failures say
+  // nothing about the new process, so the blacklist must shrink.
+  h.jt().Heartbeat(0);
+  EXPECT_FALSE(h.jt().job(job).blacklist.contains(0));
+  EXPECT_EQ(h.jt().blacklisted_entries(), 0);
+  EXPECT_EQ(
+      h.sim().obs().metrics().GetGauge("mr.blacklist.active").value(), 0.0);
+}
+
+// ---- Deterministic jobtracker blackout recovery ----------------------------
+
+TEST(JobTrackerBlackout, RecoveryIsDeterministic) {
+  struct Outcome {
+    SimTime finished;
+    std::uint64_t attempts;
+    std::uint64_t reexecuted;
+    mr::JobState s1, s2;
+  };
+  const auto run = [] {
+    mr::MrConfig config;
+    config.tracker_expiry = 30 * kSecond;
+    MrHarness h(5, config);
+    const mr::JobId j1 = h.Submit(8 * 64 * kMiB, 2, /*map_rate_mibps=*/4);
+    const mr::JobId j2 = h.Submit(8 * 64 * kMiB, 2, /*map_rate_mibps=*/4);
+    h.sim().ScheduleAfter(40 * kSecond, [&h] { h.jt().Crash(); });
+    h.sim().ScheduleAfter(100 * kSecond, [&h] { h.jt().Restart(); });
+    EXPECT_TRUE(h.RunToCompletion());
+    return Outcome{h.sim().now(), h.jt().attempts_launched(),
+                   h.jt().maps_reexecuted(), h.jt().job(j1).state,
+                   h.jt().job(j2).state};
+  };
+  const Outcome a = run();
+  const Outcome b = run();
+  EXPECT_EQ(a.s1, mr::JobState::kSucceeded);
+  EXPECT_EQ(a.s2, mr::JobState::kSucceeded);
+  EXPECT_EQ(a.finished, b.finished)
+      << "blackout re-admission must be schedule-deterministic";
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.reexecuted, b.reexecuted);
+}
+
+// ---- Invariant auditor ------------------------------------------------------
+
+TEST(Auditor, HealthyRunStaysViolationFree) {
+  MrHarness h(4);
+  check::Auditor::Options options;
+  options.period = 5 * kSecond;
+  check::Auditor auditor(h.sim(), &h.nn(), &h.jt(), nullptr, options);
+  auditor.Start();
+  const mr::JobId job = h.Submit(4 * 64 * kMiB, 2);
+  ASSERT_TRUE(h.RunToCompletion());
+  EXPECT_EQ(h.jt().job(job).state, mr::JobState::kSucceeded);
+  auditor.AuditNow();
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_GT(auditor.audits_run(), 2u);
+  EXPECT_TRUE(auditor.records().empty());
+}
+
+TEST(Auditor, CatchesSeededDiskInconsistency) {
+  hdfs::HdfsConfig config;  // stock: replication 3
+  HdfsHarness h(2, 3, config);
+  const hdfs::FileId file = h.nn().ImportFile("f", 64 * kMiB);
+  const auto loc = h.nn().GetFileBlocks(file)[0];
+  check::Auditor auditor(h.sim(), &h.nn(), nullptr, nullptr);
+  EXPECT_EQ(auditor.AuditNow(), 0u);
+  // Corrupt a mirror: the holder's disk silently drops the replica's bytes
+  // while the namenode still believes in the copy.
+  h.daemon(loc.datanodes[0]).disk().Release(64 * kMiB);
+  EXPECT_GE(auditor.AuditNow(), 1u);
+  ASSERT_FALSE(auditor.records().empty());
+  EXPECT_EQ(std::string(auditor.records()[0].invariant),
+            "hdfs.disk_accounting");
+  EXPECT_GE(
+      h.sim().obs().metrics().GetCounter("check.violations").value(), 1u);
+}
+
+TEST(Auditor, FailFastThrowsAuditError) {
+  hdfs::HdfsConfig config;
+  HdfsHarness h(2, 3, config);
+  const hdfs::FileId file = h.nn().ImportFile("f", 64 * kMiB);
+  const auto loc = h.nn().GetFileBlocks(file)[0];
+  check::Auditor::Options options;
+  options.fail_fast = true;
+  check::Auditor auditor(h.sim(), &h.nn(), nullptr, nullptr, options);
+  h.daemon(loc.datanodes[0]).disk().Release(64 * kMiB);
+  EXPECT_THROW(auditor.AuditNow(), check::AuditError);
+}
+
+// ---- Random chaos scenarios -------------------------------------------------
+
+TEST(RandomScenario, DeterministicAndSeedSensitive) {
+  const fault::Scenario a = fault::RandomScenario(42);
+  const fault::Scenario b = fault::RandomScenario(42);
+  const fault::Scenario c = fault::RandomScenario(43);
+  EXPECT_EQ(fault::FormatScenario(a), fault::FormatScenario(b));
+  EXPECT_NE(fault::FormatScenario(a), fault::FormatScenario(c));
+}
+
+TEST(RandomScenario, RoundTripsThroughTextForm) {
+  for (std::uint64_t seed : {1ull, 7ull, 1000ull, 1017ull}) {
+    const fault::Scenario s = fault::RandomScenario(seed);
+    const std::string text = fault::FormatScenario(s);
+    const fault::Scenario reparsed = fault::ParseScenario(text, s.name);
+    EXPECT_EQ(fault::FormatScenario(reparsed), text) << "seed " << seed;
+  }
+}
+
+TEST(RandomScenario, DrawsFromTheSurvivablePalette) {
+  fault::RandomScenarioOptions options;
+  options.actions = 12;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const fault::Scenario s = fault::RandomScenario(seed, options);
+    EXPECT_EQ(s.actions.size(), 12u);
+    const std::string text = fault::FormatScenario(s);
+    // Disk-capacity faults make job failures legitimate, which would
+    // poison the soak's "self-healing" assertion — never generated.
+    EXPECT_EQ(text.find("shrink-disks"), std::string::npos);
+    EXPECT_EQ(text.find("fill-disks"), std::string::npos);
+    // Master blackouts are rationed: at most one per master per scenario.
+    std::size_t blackouts = 0, pos = 0;
+    while ((pos = text.find("-blackout", pos)) != std::string::npos) {
+      ++blackouts;
+      ++pos;
+    }
+    EXPECT_LE(blackouts, 2u);
+  }
+}
+
+TEST(RandomScenario, NoBlackoutsWhenDisallowed) {
+  fault::RandomScenarioOptions options;
+  options.actions = 20;
+  options.allow_blackouts = false;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const std::string text =
+        fault::FormatScenario(fault::RandomScenario(seed, options));
+    EXPECT_EQ(text.find("blackout"), std::string::npos);
+  }
+}
+
+// ---- Site-storm re-replication drain ----------------------------------------
+
+TEST(SiteStorm, QueueDrainsAndNoBlockLeftBehind) {
+  hog::HogConfig config;
+  config.sites = hog::DefaultOsgSites();
+  for (auto& site : config.sites) {
+    site.node_mtbf_s = 1e9;  // all churn comes from the scenario
+    site.burst_interval_s = 0;
+    site.queue_delay_mean_s = 30.0;
+  }
+  hog::HogCluster cluster(5, config);
+  cluster.RequestNodes(25);
+  ASSERT_TRUE(cluster.WaitForNodes(25, 4 * kHour));
+
+  // Data to protect: a handful of 10-way replicated files.
+  std::vector<hdfs::FileId> files;
+  for (int i = 0; i < 6; ++i) {
+    files.push_back(cluster.namenode().ImportFile(
+        "f" + std::to_string(i), 2 * 64 * kMiB));
+  }
+
+  // The auditor rides along in fail-fast mode: any bookkeeping divergence
+  // (including a transfer aimed at a dead or zombie target) dies here.
+  check::Auditor::Options aopts;
+  aopts.fail_fast = true;
+  aopts.period = 15 * kSecond;
+  check::Auditor auditor(cluster.sim(), &cluster.namenode(),
+                         &cluster.jobtracker(), &cluster.grid(), aopts);
+  auditor.Start();
+
+  const fault::Scenario storm =
+      fault::LoadScenarioFile(HOGSIM_SOURCE_DIR "/scenarios/site_storm.txt");
+  const auto injector = exp::ArmScenario(cluster, storm);
+  ASSERT_NE(injector, nullptr);
+
+  // Ride out the storm (last periodic action ends at 40 m), then drain.
+  cluster.sim().RunUntil(cluster.sim().now() + 45 * kMinute);
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return cluster.namenode().under_replicated() == 0; },
+      cluster.sim().now() + 2 * kHour, 5 * kSecond))
+      << "the priority queue must drain to zero after the storm";
+
+  EXPECT_EQ(cluster.namenode().under_replicated(), 0u);
+  EXPECT_EQ(cluster.namenode().missing_blocks(), 0u);
+  for (hdfs::FileId file : files) {
+    for (const auto& loc : cluster.namenode().GetFileBlocks(file)) {
+      EXPECT_EQ(loc.datanodes.size(), 10u)
+          << "block " << loc.block << " not back at full replication";
+    }
+  }
+  auditor.AuditNow();
+  EXPECT_EQ(auditor.violations(), 0u);
+}
+
+}  // namespace
+}  // namespace hogsim
