@@ -1,0 +1,136 @@
+// Scale grid: nodes x jobs sweeps over the HOG cluster, up to 10k
+// glideins across 100 sites — the asymptotics regression gate.
+//
+// The incremental max-min solver, the deadline-heap expiry monitors, and
+// the flat block/node arenas all claim O(changed state) costs; this bench
+// runs grids large enough that an accidental O(cluster) scan shows up in
+// wall-clock and events/sec. Every config arms the fail-fast invariant
+// auditor, so a 10k-node run finishing at all is also a correctness
+// statement. BENCH_scale.json commits the trajectory for compare_bench.
+//
+// Metric split (see src/exp/scale_run.h): deterministic rows
+// (executed_events, jobs_succeeded, audit_violations, ...) are byte-stable
+// across machines and thread counts; host rows (wall_s, peak_rss_mib,
+// events_per_sec) describe the machine the baseline was generated on.
+// --no-host-metrics drops the host rows, which makes the output
+// byte-comparable across machines and --threads values — that is what the
+// check.sh gate and the determinism test run. compare_bench treats the
+// baseline's host rows as "missing in candidate", not regressions.
+//
+//   bench_scale --fast --no-host-metrics   # CI gate grid (small configs)
+//   bench_scale                            # full grid incl. 10k x 100
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/exp/bench_main.h"
+#include "src/exp/scale_run.h"
+
+using namespace hogsim;
+
+namespace {
+
+struct GridPoint {
+  const char* label;
+  exp::ScaleConfig config;
+};
+
+/// The full grid; --fast runs the first kFastConfigs entries. Fast
+/// configs keep the full-grid labels and parameters, so a fast candidate
+/// compares row-for-row against the committed full baseline.
+constexpr int kFastConfigs = 3;
+
+std::vector<GridPoint> Grid() {
+  auto point = [](const char* label, int nodes, int sites, int jobs) {
+    GridPoint p;
+    p.label = label;
+    p.config.nodes = nodes;
+    p.config.sites = sites;
+    p.config.jobs = jobs;
+    return p;
+  };
+  return {
+      // CI-sized points (also the --fast grid): nodes and jobs vary
+      // independently so each axis has a gate.
+      point("500n-5s-30j", 500, 5, 30),
+      point("500n-5s-120j", 500, 5, 120),
+      point("2000n-20s-30j", 2000, 20, 30),
+      // Full-grid points: past the paper's 1101-node experiment, up to
+      // the 10k-glidein / 100-site headline run.
+      point("2000n-20s-120j", 2000, 20, 120),
+      point("10000n-100s-60j", 10000, 100, 60),
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the bench-local flag before the shared parser sees argv.
+  bool host_metrics = true;
+  std::vector<char*> args;
+  args.reserve(argc);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-host-metrics") == 0) {
+      host_metrics = false;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  exp::BenchOptions opts = exp::ParseBenchOptions(
+      static_cast<int>(args.size()), args.data());
+
+  std::vector<GridPoint> grid = Grid();
+  if (opts.fast) grid.resize(kFastConfigs);
+
+  std::vector<std::string> labels;
+  for (const GridPoint& p : grid) labels.push_back(p.label);
+
+  std::printf("Scale grid: %zu config(s) x %zu seed(s), auditor armed "
+              "(fail-fast)%s\n\n",
+              grid.size(), opts.seeds.size(),
+              host_metrics ? "" : ", host metrics off");
+
+  exp::SweepSpec spec;
+  spec.name = "scale";
+  spec.configs = grid.size();
+  spec.config_labels = labels;
+  const exp::SweepResult sweep = exp::RunBenchSweep(
+      opts, spec,
+      [&grid, host_metrics](std::size_t config,
+                            std::uint64_t seed) -> exp::Metrics {
+        exp::ScaleConfig scale = grid[config].config;
+        scale.audit = true;
+        scale.host_metrics = host_metrics;
+        return exp::RunScaleWorkload(scale, seed);
+      });
+
+  // Gate: every run must reach its node target, finish every job, and
+  // audit clean. Metric order matches RunScaleWorkload's emission order.
+  int bad_runs = 0;
+  for (const exp::RunRecord& run : sweep.runs) {
+    const double reached = run.metrics[0].second;
+    const double succeeded = run.metrics[1].second;
+    const double failed = run.metrics[2].second;
+    const double violations = run.metrics[7].second;
+    const double jobs = grid[run.config_index].config.jobs;
+    if (reached == 1.0 && failed == 0 && succeeded == jobs &&
+        violations == 0) {
+      continue;
+    }
+    ++bad_runs;
+    std::printf("SCALE FAIL: %s seed %llu: reached=%g succeeded=%g/%g "
+                "failed=%g violations=%g\n",
+                labels[run.config_index].c_str(),
+                static_cast<unsigned long long>(run.seed), reached,
+                succeeded, jobs, failed, violations);
+  }
+  if (bad_runs > 0) {
+    std::printf("\nscale grid FAILED: %d of %zu runs broke the scale "
+                "contract\n", bad_runs, sweep.runs.size());
+    return 1;
+  }
+  std::printf("\nscale grid PASSED: %zu runs, all node targets reached, "
+              "all jobs succeeded, audits clean\n", sweep.runs.size());
+  return 0;
+}

@@ -53,9 +53,10 @@ int main(int argc, char** argv) {
     if (arg == "--quiet") {
       quiet = true;
     } else if (StartsWith(arg, "--tol=")) {
+      const std::string value(arg.substr(6));
       char* end = nullptr;
-      rel_tol = std::strtod(std::string(arg.substr(6)).c_str(), &end);
-      if (end == nullptr || *end != '\0' || rel_tol < 0) Usage();
+      rel_tol = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || rel_tol < 0) Usage();
     } else if (StartsWith(arg, "--")) {
       Usage();
     } else if (baseline_path.empty()) {

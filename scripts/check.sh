@@ -3,8 +3,10 @@
 # (default and ASan/UBSan) and run the tier1-labelled tests under each —
 # which includes the obs tests (tests/obs_test.cc) in both builds — plus a
 # fault-scenario smoke leg (bench_scenario_storm under a committed
-# scenario, which also proves the examples compiled). This is what a PR
-# must keep green; see ROADMAP.md ("tier-1 tests").
+# scenario, which also proves the examples compiled), the audited fast
+# scale grid (bench_scale) diffed against the committed BENCH_scale.json
+# baseline via compare_bench. This is what a PR must keep green; see
+# ROADMAP.md ("tier-1 tests").
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   default preset only (skip the sanitizer build)
@@ -43,6 +45,20 @@ run_preset() {
   # (and, under the sanitize preset, any memory error surfaces here too).
   "$dir/bench/bench_chaos_soak" --fast --audit \
     --out="$dir/BENCH_soak_fast.json"
+  echo "== [$preset] scale grid (fast, audited) =="
+  # The CI-sized nodes x jobs points with the fail-fast auditor armed.
+  # --no-host-metrics keeps only the deterministic rows, so the next leg
+  # can diff them against the committed baseline on any machine.
+  "$dir/bench/bench_scale" --fast --no-host-metrics \
+    --out="$dir/BENCH_scale_fast.json"
+  echo "== [$preset] compare_bench against BENCH_scale.json =="
+  # Byte-stable rows (executed_events, jobs_succeeded, audit_violations,
+  # ...) must match the committed baseline; the baseline's host-only rows
+  # (wall_s, peak_rss_mib, events_per_sec) count as missing-in-candidate,
+  # which is not a regression. The tolerance only pads rounding in the
+  # JSON serialization — the compared rows are deterministic.
+  "$dir/bench/compare_bench" BENCH_scale.json "$dir/BENCH_scale_fast.json" \
+    --tol=0.01
   echo "== [$preset] examples present =="
   # The example binaries are part of the build graph; a missing one means
   # a source file was dropped without updating the examples.

@@ -82,7 +82,9 @@ void Auditor::AuditHdfs() {
   }
 
   std::size_t expected_needed = 0;
-  for (const auto& [id, info] : nn.blocks_) {
+  for (hdfs::BlockId id = 0; id < nn.blocks_.size(); ++id) {
+    const auto& info = nn.blocks_[id];
+    if (!info.live) continue;
     // Holder sets and datanode inventories are two views of the same
     // relation; they must agree exactly.
     for (hdfs::DatanodeId dn : info.holders) {
@@ -164,9 +166,9 @@ void Auditor::AuditHdfs() {
     const auto& entry = nn.datanodes_[dn];
     if (entry.alive) ++live;
     for (hdfs::BlockId b : entry.blocks) {
-      auto it = nn.blocks_.find(b);
-      if (it == nn.blocks_.end() || !it->second.holders.contains(
-                                        static_cast<hdfs::DatanodeId>(dn))) {
+      const auto* info = nn.FindBlock(b);
+      if (info == nullptr ||
+          !info->holders.contains(static_cast<hdfs::DatanodeId>(dn))) {
         Report("hdfs.holders_bidir",
                "datanode " + entry.hostname + " lists block " +
                    std::to_string(b) + " it does not hold");
@@ -187,8 +189,8 @@ void Auditor::AuditHdfs() {
     if (entry.daemon != nullptr) {
       Bytes believed = 0;
       for (hdfs::BlockId b : entry.blocks) {
-        auto it = nn.blocks_.find(b);
-        if (it != nn.blocks_.end()) believed += it->second.size;
+        const auto* info = nn.FindBlock(b);
+        if (info != nullptr) believed += info->size;
       }
       if (believed > entry.daemon->disk().used()) {
         Report("hdfs.disk_accounting",

@@ -74,11 +74,11 @@ void Namenode::Restart() {
     } else if (entry.alive) {
       DeclareDead(id);
     }
+    if (survived) ArmExpiry(id);
   }
   // Recompute the needed-replication queue from scratch.
-  for (const auto& [block, info] : blocks_) {
-    (void)info;
-    UpdateNeeded(block);
+  for (BlockId block = 1; block < blocks_.size(); ++block) {
+    if (blocks_[block].live) UpdateNeeded(block);
   }
   Start();
   HOG_LOG(kWarn, sim_.now(), "namenode")
@@ -97,11 +97,15 @@ DatanodeId Namenode::RegisterDatanode(Datanode& daemon) {
   entry.last_heartbeat = sim_.now();
   datanodes_.push_back(std::move(entry));
   const auto id = static_cast<DatanodeId>(datanodes_.size() - 1);
+  if (by_net_node_.size() <= daemon.net_node()) {
+    by_net_node_.resize(daemon.net_node() + 1, kInvalidDatanode);
+  }
   by_net_node_[daemon.net_node()] = id;
   ++live_datanodes_;
   ins_.datanodes_live.Set(live_datanodes_);
   sim_.obs().tracer().EmitCounter("hdfs", "datanodes.live", sim_.now(),
                                   live_datanodes_);
+  ArmExpiry(id);
   return id;
 }
 
@@ -121,17 +125,38 @@ void Namenode::Heartbeat(DatanodeId id) {
     sim_.obs().tracer().EmitCounter("hdfs", "datanodes.live", sim_.now(),
                                     live_datanodes_);
   }
+  ArmExpiry(id);
+}
+
+void Namenode::ArmExpiry(DatanodeId id) {
+  DatanodeEntry& entry = datanodes_[id];
+  if (entry.expiry_queued || !entry.alive) return;
+  entry.expiry_queued = true;
+  expiry_heap_.push({entry.last_heartbeat + config_.heartbeat_recheck, id});
 }
 
 void Namenode::CheckHeartbeats() {
   const SimTime now = sim_.now();
-  for (DatanodeId id = 0; id < datanodes_.size(); ++id) {
+  std::vector<DatanodeId> due;
+  // `deadline < now` matches the legacy strict `now - last_heartbeat >
+  // recheck` scan, so detection happens on exactly the same tick.
+  while (!expiry_heap_.empty() && expiry_heap_.top().deadline < now) {
+    const DatanodeId id = expiry_heap_.top().id;
+    expiry_heap_.pop();
     DatanodeEntry& entry = datanodes_[id];
-    if (entry.alive &&
-        now - entry.last_heartbeat > config_.heartbeat_recheck) {
-      DeclareDead(id);
+    entry.expiry_queued = false;
+    if (!entry.alive) continue;  // re-armed by the reviving heartbeat
+    if (now - entry.last_heartbeat > config_.heartbeat_recheck) {
+      due.push_back(id);
+    } else {
+      // Heartbeated since this entry was pushed; lazily re-arm at the
+      // true (future) deadline.
+      ArmExpiry(id);
     }
   }
+  // Match the legacy full-scan declare order (ascending datanode id).
+  std::sort(due.begin(), due.end());
+  for (DatanodeId id : due) DeclareDead(id);
 }
 
 void Namenode::DeclareDead(DatanodeId id) {
@@ -154,12 +179,12 @@ void Namenode::DeclareDead(DatanodeId id) {
   const std::unordered_set<BlockId> lost = std::move(entry.blocks);
   entry.blocks.clear();
   for (BlockId b : lost) {
-    auto it = blocks_.find(b);
-    if (it == blocks_.end()) continue;
-    it->second.holders.erase(id);
-    if (it->second.holders.empty() && it->second.pending_replications == 0) {
+    BlockInfo* info = FindBlock(b);
+    if (info == nullptr) continue;
+    info->holders.erase(id);
+    if (info->holders.empty() && info->pending_replications == 0) {
       HOG_LOG(kWarn, sim_.now(), "namenode")
-          << "block " << b << " of " << files_[it->second.file].name
+          << "block " << b << " of " << files_[info->file].name
           << " lost: last replica was on " << entry.hostname;
       if (on_block_missing_) on_block_missing_(b);
     }
@@ -168,9 +193,10 @@ void Namenode::DeclareDead(DatanodeId id) {
 }
 
 DatanodeId Namenode::DatanodeAt(net::NodeId node) const {
-  auto it = by_net_node_.find(node);
-  if (it == by_net_node_.end()) return kInvalidDatanode;
-  return datanodes_[it->second].alive ? it->second : kInvalidDatanode;
+  if (node >= by_net_node_.size()) return kInvalidDatanode;
+  const DatanodeId id = by_net_node_[node];
+  if (id == kInvalidDatanode) return kInvalidDatanode;
+  return datanodes_[id].alive ? id : kInvalidDatanode;
 }
 
 // ---- File namespace --------------------------------------------------------
@@ -215,15 +241,15 @@ void Namenode::DeleteFile(FileId file) {
   if (info.deleted) return;
   info.deleted = true;
   for (BlockId b : info.blocks) {
-    auto it = blocks_.find(b);
-    if (it == blocks_.end()) continue;
-    for (DatanodeId dn : it->second.holders) {
+    BlockInfo* block = FindBlock(b);
+    if (block == nullptr) continue;
+    for (DatanodeId dn : block->holders) {
       DatanodeEntry& entry = datanodes_[dn];
       entry.blocks.erase(b);
-      if (entry.daemon != nullptr) entry.daemon->disk().Release(it->second.size);
+      if (entry.daemon != nullptr) entry.daemon->disk().Release(block->size);
     }
     needed_.Erase(b);
-    blocks_.erase(it);
+    blocks_[b] = BlockInfo{};  // tombstone the arena slot
   }
   info.blocks.clear();
 }
@@ -232,14 +258,14 @@ std::vector<BlockLocation> Namenode::GetFileBlocks(FileId file) const {
   assert(file < files_.size());
   std::vector<BlockLocation> out;
   for (BlockId b : files_[file].blocks) {
-    auto it = blocks_.find(b);
-    if (it == blocks_.end()) continue;
+    const BlockInfo* info = FindBlock(b);
+    if (info == nullptr) continue;
     BlockLocation loc;
     loc.block = b;
-    loc.size = it->second.size;
+    loc.size = info->size;
     // Deterministic replica order (holders is a hash set).
-    std::vector<DatanodeId> holders(it->second.holders.begin(),
-                                    it->second.holders.end());
+    std::vector<DatanodeId> holders(info->holders.begin(),
+                                    info->holders.end());
     std::sort(holders.begin(), holders.end());
     for (DatanodeId dn : holders) {
       if (!datanodes_[dn].alive) continue;
@@ -256,8 +282,8 @@ Bytes Namenode::FileSize(FileId file) const {
   assert(file < files_.size());
   Bytes total = 0;
   for (BlockId b : files_[file].blocks) {
-    auto it = blocks_.find(b);
-    if (it != blocks_.end()) total += it->second.size;
+    const BlockInfo* info = FindBlock(b);
+    if (info != nullptr) total += info->size;
   }
   return total;
 }
@@ -281,11 +307,12 @@ bool Namenode::FileExists(FileId file) const {
 BlockId Namenode::AllocateBlock(FileId file, Bytes size) {
   assert(file < files_.size() && !files_[file].deleted);
   const BlockId id = next_block_++;
-  BlockInfo info;
+  if (blocks_.size() <= id) blocks_.resize(id + 1);
+  BlockInfo& info = blocks_[id];
+  info.live = true;
   info.file = file;
   info.size = size;
   info.replication = files_[file].replication;
-  blocks_.emplace(id, std::move(info));
   files_[file].blocks.push_back(id);
   return id;
 }
@@ -298,9 +325,9 @@ std::vector<DatanodeId> Namenode::ChooseTargets(
 
 void Namenode::CommitBlock(BlockId block,
                            const std::vector<DatanodeId>& holders) {
-  auto it = blocks_.find(block);
-  if (it == blocks_.end()) return;  // file deleted mid-write
-  it->second.committed = true;
+  BlockInfo* info = FindBlock(block);
+  if (info == nullptr) return;  // file deleted mid-write
+  info->committed = true;
   for (DatanodeId dn : holders) {
     // A pipeline member can die between its successful write and the
     // client's commit. Recording it anyway would leave a phantom replica
@@ -308,14 +335,14 @@ void Namenode::CommitBlock(BlockId block,
     // re-replication of this block forever. Drop it; if the node ever
     // revives, the replication monitor conservatively re-creates the copy.
     if (!datanodes_[dn].alive) continue;
-    it->second.holders.insert(dn);
+    info->holders.insert(dn);
     datanodes_[dn].blocks.insert(block);
     ins_.block_placed.Add();
   }
-  if (it->second.holders.empty() && it->second.pending_replications == 0) {
+  if (info->holders.empty() && info->pending_replications == 0) {
     // Every pipeline member died before the commit landed.
     HOG_LOG(kWarn, sim_.now(), "namenode")
-        << "block " << block << " of " << files_[it->second.file].name
+        << "block " << block << " of " << files_[info->file].name
         << " committed with no surviving pipeline member";
     if (on_block_missing_) on_block_missing_(block);
   }
@@ -323,39 +350,39 @@ void Namenode::CommitBlock(BlockId block,
 }
 
 void Namenode::AbandonBlock(BlockId block) {
-  auto it = blocks_.find(block);
-  if (it == blocks_.end()) return;
-  assert(it->second.holders.empty());
-  auto& file_blocks = files_[it->second.file].blocks;
+  BlockInfo* info = FindBlock(block);
+  if (info == nullptr) return;
+  assert(info->holders.empty());
+  auto& file_blocks = files_[info->file].blocks;
   std::erase(file_blocks, block);
   needed_.Erase(block);
-  blocks_.erase(it);
+  blocks_[block] = BlockInfo{};  // tombstone the arena slot
 }
 
 void Namenode::AddReplica(BlockId block, DatanodeId dn) {
-  auto it = blocks_.find(block);
-  if (it == blocks_.end()) return;
-  it->second.holders.insert(dn);
+  BlockInfo* info = FindBlock(block);
+  if (info == nullptr) return;
+  info->holders.insert(dn);
   datanodes_[dn].blocks.insert(block);
   ins_.block_placed.Add();
   UpdateNeeded(block);
 }
 
 void Namenode::RemoveReplica(BlockId block, DatanodeId dn) {
-  auto it = blocks_.find(block);
-  if (it == blocks_.end()) return;
-  if (it->second.holders.erase(dn) == 0) return;
+  BlockInfo* info = FindBlock(block);
+  if (info == nullptr) return;
+  if (info->holders.erase(dn) == 0) return;
   DatanodeEntry& entry = datanodes_[dn];
   entry.blocks.erase(block);
-  if (entry.daemon != nullptr) entry.daemon->disk().Release(it->second.size);
+  if (entry.daemon != nullptr) entry.daemon->disk().Release(info->size);
   UpdateNeeded(block);
 }
 
 std::vector<DatanodeId> Namenode::BlockHolders(BlockId block) const {
-  auto it = blocks_.find(block);
-  if (it == blocks_.end()) return {};
+  const BlockInfo* info = FindBlock(block);
+  if (info == nullptr) return {};
   std::vector<DatanodeId> out;
-  for (DatanodeId dn : it->second.holders) {
+  for (DatanodeId dn : info->holders) {
     if (datanodes_[dn].alive) out.push_back(dn);
   }
   std::sort(out.begin(), out.end());
@@ -363,8 +390,8 @@ std::vector<DatanodeId> Namenode::BlockHolders(BlockId block) const {
 }
 
 Bytes Namenode::BlockSize(BlockId block) const {
-  auto it = blocks_.find(block);
-  return it != blocks_.end() ? it->second.size : 0;
+  const BlockInfo* info = FindBlock(block);
+  return info != nullptr ? info->size : 0;
 }
 
 // ---- ClusterView -------------------------------------------------------------
@@ -397,16 +424,16 @@ bool Namenode::DecommissionReady(DatanodeId dn) const {
   const DatanodeEntry& entry = datanodes_[dn];
   if (!entry.decommissioning) return false;
   for (BlockId b : entry.blocks) {
-    auto it = blocks_.find(b);
-    if (it == blocks_.end()) continue;
+    const BlockInfo* info = FindBlock(b);
+    if (info == nullptr) continue;
     int healthy = 0;
-    for (DatanodeId holder : it->second.holders) {
+    for (DatanodeId holder : info->holders) {
       // Serving(), not .alive: a zombie heartbeats and so looks alive to
       // the namenode, but its disk is gone — shutting this node down on
       // the strength of a zombie copy would lose the block.
       if (Serving(holder) && !datanodes_[holder].decommissioning) ++healthy;
     }
-    if (healthy < it->second.replication) return false;
+    if (healthy < info->replication) return false;
   }
   return true;
 }
@@ -418,8 +445,8 @@ const std::string& Namenode::RackOf(DatanodeId id) const {
 
 std::size_t Namenode::missing_blocks() const {
   std::size_t count = 0;
-  for (const auto& [id, info] : blocks_) {
-    if (!info.committed) continue;
+  for (const BlockInfo& info : blocks_) {
+    if (!info.live || !info.committed) continue;
     bool any = false;
     // Serving(), not .alive: a replica on a zombie (process up, disk gone)
     // cannot actually be read back, so it must not mask a missing block.
@@ -437,12 +464,12 @@ bool Namenode::Serving(DatanodeId id) const {
 }
 
 void Namenode::UpdateNeeded(BlockId block) {
-  auto it = blocks_.find(block);
-  if (it == blocks_.end()) {
+  const BlockInfo* found = FindBlock(block);
+  if (found == nullptr) {
     needed_.Erase(block);
     return;
   }
-  const BlockInfo& info = it->second;
+  const BlockInfo& info = *found;
   if (!info.committed) return;
   // Replicas on decommissioning nodes do not count toward the target.
   int counted = 0;
@@ -475,9 +502,9 @@ void Namenode::ReplicationScan() {
 }
 
 bool Namenode::TryScheduleReplication(BlockId block) {
-  auto it = blocks_.find(block);
-  if (it == blocks_.end()) return false;
-  BlockInfo& info = it->second;
+  BlockInfo* found = FindBlock(block);
+  if (found == nullptr) return false;
+  BlockInfo& info = *found;
   int counted = 0;
   for (DatanodeId dn : info.holders) {
     if (!datanodes_[dn].decommissioning) ++counted;
@@ -578,12 +605,12 @@ void Namenode::FinishTransfer(std::uint64_t transfer_id, bool ok) {
   --datanodes_[t.src].repl_out;
   --datanodes_[t.dst].repl_in;
 
-  auto bit = blocks_.find(t.block);
-  const Bytes size = bit != blocks_.end() ? bit->second.size : 0;
-  if (bit != blocks_.end()) {
-    --bit->second.pending_replications;
+  BlockInfo* binfo = FindBlock(t.block);
+  const Bytes size = binfo != nullptr ? binfo->size : 0;
+  if (binfo != nullptr) {
+    --binfo->pending_replications;
   }
-  const bool block_live = bit != blocks_.end();
+  const bool block_live = binfo != nullptr;
   const bool dst_ok = datanodes_[t.dst].alive &&
                       datanodes_[t.dst].daemon != nullptr &&
                       datanodes_[t.dst].daemon->can_serve();
@@ -607,10 +634,9 @@ void Namenode::FinishTransfer(std::uint64_t transfer_id, bool ok) {
       // flight for a holder-less block, the data is now unrecoverable.
       // DeclareDead skipped the missing callback because a repair was
       // pending — report it here, when the last hope actually fails.
-      if (bit->second.holders.empty() &&
-          bit->second.pending_replications == 0) {
+      if (binfo->holders.empty() && binfo->pending_replications == 0) {
         HOG_LOG(kWarn, sim_.now(), "namenode")
-            << "block " << t.block << " of " << files_[bit->second.file].name
+            << "block " << t.block << " of " << files_[binfo->file].name
             << " lost: last replica died mid-repair";
         if (on_block_missing_) on_block_missing_(t.block);
       }
@@ -626,7 +652,7 @@ void Namenode::AbortStaleTransfers() {
     const Datanode* dst = datanodes_[t.dst].daemon;
     const bool src_gone = src == nullptr || !src->can_serve();
     const bool dst_gone = dst == nullptr || !dst->process_alive();
-    if (src_gone || dst_gone || !blocks_.contains(t.block)) {
+    if (src_gone || dst_gone || !BlockExists(t.block)) {
       stale.push_back(tid);
     }
   }

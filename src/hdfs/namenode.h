@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <memory>
+#include <queue>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -72,6 +73,10 @@ class Namenode final : public ClusterView {
     net::NodeId net_node = net::kInvalidNode;
     bool alive = false;  // namenode's belief, driven by heartbeats
     bool decommissioning = false;
+    /// True while an entry for this datanode sits in the expiry heap; each
+    /// alive datanode keeps exactly one (lazily re-armed on pop), so the
+    /// heap is O(datanodes), not O(heartbeats).
+    bool expiry_queued = false;
     SimTime last_heartbeat = 0;
     std::unordered_set<BlockId> blocks;
     int repl_in = 0;   // active re-replication transfers sinking here
@@ -145,15 +150,13 @@ class Namenode final : public ClusterView {
   /// Live, serving replica holders of a block (namenode view).
   std::vector<DatanodeId> BlockHolders(BlockId block) const;
   Bytes BlockSize(BlockId block) const;
-  bool BlockExists(BlockId block) const {
-    return blocks_.contains(block);
-  }
+  bool BlockExists(BlockId block) const { return FindBlock(block) != nullptr; }
   /// True once the client's write pipeline committed the block. An
   /// allocated-but-uncommitted block is an in-flight (or abandoned) write,
   /// not acknowledged data.
   bool BlockCommitted(BlockId block) const {
-    auto it = blocks_.find(block);
-    return it != blocks_.end() && it->second.committed;
+    const BlockInfo* info = FindBlock(block);
+    return info != nullptr && info->committed;
   }
 
   // ---- ClusterView --------------------------------------------------------
@@ -199,6 +202,10 @@ class Namenode final : public ClusterView {
     std::unordered_set<DatanodeId> holders;
     int pending_replications = 0;
     bool committed = false;
+    /// Arena slot state: block ids are dense and monotonically assigned,
+    /// so the block map is a flat vector indexed by id; deleting a block
+    /// resets its slot to this default (live == false) tombstone.
+    bool live = false;
   };
 
   struct FileInfo {
@@ -245,8 +252,24 @@ class Namenode final : public ClusterView {
     obs::Histogram& detection_latency_s;
   };
 
+  /// Declares dead every alive datanode whose expiry deadline passed.
+  /// Driven by the expiry heap: each tick pops only due entries, so the
+  /// periodic recheck costs O(due + 1), not O(cluster).
   void CheckHeartbeats();
+  /// Ensures the datanode has an entry in the expiry heap (no-op if it
+  /// already does; heartbeats just bump last_heartbeat and a stale
+  /// deadline is corrected when it surfaces).
+  void ArmExpiry(DatanodeId id);
   void DeclareDead(DatanodeId id);
+  /// Flat-arena block lookup; nullptr for never-allocated or deleted ids.
+  BlockInfo* FindBlock(BlockId block) {
+    return block < blocks_.size() && blocks_[block].live ? &blocks_[block]
+                                                         : nullptr;
+  }
+  const BlockInfo* FindBlock(BlockId block) const {
+    return block < blocks_.size() && blocks_[block].live ? &blocks_[block]
+                                                         : nullptr;
+  }
   void UpdateNeeded(BlockId block);
   void ReplicationScan();
   bool TryScheduleReplication(BlockId block);
@@ -264,10 +287,31 @@ class Namenode final : public ClusterView {
   Instruments ins_;
 
   std::vector<DatanodeEntry> datanodes_;
-  std::unordered_map<net::NodeId, DatanodeId> by_net_node_;
+  // net::NodeId-indexed (node ids are dense): O(1) locality lookups on the
+  // read path without hashing.
+  std::vector<DatanodeId> by_net_node_;
   std::vector<FileInfo> files_;
-  std::unordered_map<BlockId, BlockInfo> blocks_;
+  // BlockId-indexed arena (see BlockInfo::live); index 0 is unused since
+  // ids start at 1.
+  std::vector<BlockInfo> blocks_;
   BlockId next_block_ = 1;
+
+  // Min-heap of {deadline, datanode} candidates for dead-node expiry.
+  // Entries are not removed on heartbeat; a popped entry whose datanode
+  // heartbeated since is re-armed at its true deadline (lazy invalidation,
+  // same idiom as the sim core's stale heap entries).
+  struct ExpiryEntry {
+    SimTime deadline;
+    DatanodeId id;
+  };
+  struct ExpiryLater {
+    bool operator()(const ExpiryEntry& a, const ExpiryEntry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.id > b.id;
+    }
+  };
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>, ExpiryLater>
+      expiry_heap_;
 
   ReplicationQueue needed_;  // prioritized under-replicated queue
   std::unordered_map<std::uint64_t, Transfer> transfers_;

@@ -57,7 +57,9 @@ TrackerId JobTracker::RegisterTracker(TaskTracker& daemon) {
   ins_.trackers_live.Set(live_trackers_);
   sim_.obs().tracer().EmitCounter("mr", "trackers.live", sim_.now(),
                                   live_trackers_);
-  return static_cast<TrackerId>(trackers_.size() - 1);
+  const TrackerId id = static_cast<TrackerId>(trackers_.size() - 1);
+  ArmExpiry(id);
+  return id;
 }
 
 void JobTracker::Crash() {
@@ -86,6 +88,7 @@ void JobTracker::Restart() {
         ins_.trackers_live.Set(live_trackers_);
         ForgiveTracker(id);
       }
+      ArmExpiry(id);
     } else if (entry.alive) {
       DeclareLost(id);
     }
@@ -141,6 +144,16 @@ void JobTracker::RetireBlacklist(JobInfo& job) {
   ins_.blacklist_active.Set(blacklist_active_);
 }
 
+void JobTracker::ReleaseCompletedMapIndex(JobInfo& job) {
+  // A terminal job's map outputs can no longer be reverted, so drop its
+  // entries from the per-tracker index (else it grows with jobs ever run).
+  for (const TaskInfo& map : job.maps) {
+    if (map.complete && map.completed_on != kInvalidTracker) {
+      trackers_[map.completed_on].completed_maps.erase({job.id, map.index});
+    }
+  }
+}
+
 void JobTracker::Heartbeat(TrackerId id) {
   if (!available_) return;  // blackout: the RPC times out unanswered
   if (id >= trackers_.size()) return;
@@ -156,17 +169,39 @@ void JobTracker::Heartbeat(TrackerId id) {
     // blacklist entries describe a process that no longer exists.
     ForgiveTracker(id);
   }
+  ArmExpiry(id);
   ScheduleOn(id);
+}
+
+void JobTracker::ArmExpiry(TrackerId id) {
+  TrackerEntry& entry = trackers_[id];
+  if (entry.expiry_queued || !entry.alive) return;
+  entry.expiry_queued = true;
+  expiry_heap_.push({entry.last_heartbeat + config_.tracker_expiry, id});
 }
 
 void JobTracker::CheckTrackers() {
   const SimTime now = sim_.now();
-  for (TrackerId id = 0; id < trackers_.size(); ++id) {
-    if (trackers_[id].alive &&
-        now - trackers_[id].last_heartbeat > config_.tracker_expiry) {
-      DeclareLost(id);
+  std::vector<TrackerId> due;
+  // `deadline < now` matches the legacy strict `now - last_heartbeat >
+  // expiry` scan, so detection happens on exactly the same tick.
+  while (!expiry_heap_.empty() && expiry_heap_.top().deadline < now) {
+    const TrackerId id = expiry_heap_.top().id;
+    expiry_heap_.pop();
+    TrackerEntry& entry = trackers_[id];
+    entry.expiry_queued = false;
+    if (!entry.alive) continue;  // re-armed by the reviving heartbeat
+    if (now - entry.last_heartbeat > config_.tracker_expiry) {
+      due.push_back(id);
+    } else {
+      // Heartbeated since this entry was pushed; the true deadline is in
+      // the future — lazily re-arm there.
+      ArmExpiry(id);
     }
   }
+  // Match the legacy full-scan declare order (ascending tracker id).
+  std::sort(due.begin(), due.end());
+  for (TrackerId id : due) DeclareLost(id);
 }
 
 void JobTracker::DeclareLost(TrackerId id) {
@@ -208,14 +243,16 @@ void JobTracker::DeclareLost(TrackerId id) {
   }
 
   // Completed map output on the node is gone: re-execute those maps for
-  // every still-running job (§III.B — redistributing processing).
-  for (JobInfo& job : jobs_) {
+  // every still-running job (§III.B — redistributing processing). The
+  // per-tracker index pins this at O(outputs on the lost node); the set's
+  // (job, index) order matches the legacy jobs-then-maps scan order.
+  const std::vector<std::pair<JobId, int>> outputs(
+      entry.completed_maps.begin(), entry.completed_maps.end());
+  entry.completed_maps.clear();
+  for (const auto& [job_id, map_index] : outputs) {
+    JobInfo& job = jobs_[job_id];
     if (job.state != JobState::kRunning) continue;
-    for (TaskInfo& map : job.maps) {
-      if (map.complete && map.completed_on == id) {
-        RevertCompletedMap(job, map.index);
-      }
-    }
+    RevertCompletedMap(job, map_index);
   }
   entry.used_map_slots = 0;
   entry.used_reduce_slots = 0;
@@ -673,6 +710,7 @@ void JobTracker::HandleMapComplete(const AttemptReport& report) {
   task.complete = true;
   task.completed_at = sim_.now();
   task.completed_on = record.tracker;
+  trackers_[record.tracker].completed_maps.emplace(job.id, task.index);
   task.output_bytes = report.map_output_bytes;
   ++job.maps_completed;
   job.map_durations.Add(ToSeconds(sim_.now() - record.started));
@@ -779,6 +817,9 @@ bool JobTracker::MapOutputAvailable(JobId job_id, int map_index,
 void JobTracker::RevertCompletedMap(JobInfo& job, int map_index) {
   TaskInfo& task = job.maps[map_index];
   if (!task.complete) return;
+  if (task.completed_on != kInvalidTracker) {
+    trackers_[task.completed_on].completed_maps.erase({job.id, map_index});
+  }
   task.complete = false;
   task.completed_on = kInvalidTracker;
   task.completed_at = -1;
@@ -805,6 +846,7 @@ void JobTracker::MaybeCompleteJob(JobInfo& job) {
   job.finished = sim_.now();
   --running_jobs_;
   RetireBlacklist(job);
+  ReleaseCompletedMapIndex(job);
   ins_.job_succeeded.Add();
   ins_.jobs_running.Set(running_jobs_);
   sim_.obs().tracer().EmitSpan("mr", "job", job.submitted,
@@ -827,6 +869,7 @@ void JobTracker::FailJob(JobInfo& job) {
   job.finished = sim_.now();
   --running_jobs_;
   RetireBlacklist(job);
+  ReleaseCompletedMapIndex(job);
   ins_.job_failed.Add();
   ins_.jobs_running.Set(running_jobs_);
   sim_.obs().tracer().EmitSpan("mr", "job.failed", job.submitted,

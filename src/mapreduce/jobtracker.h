@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <queue>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -200,9 +201,18 @@ class JobTracker {
     net::NodeId net_node = net::kInvalidNode;
     bool alive = false;
     SimTime last_heartbeat = 0;
+    /// True while an entry for this tracker sits in the expiry heap; each
+    /// alive tracker keeps exactly one (lazily re-armed on pop), so the
+    /// heap is O(trackers), not O(heartbeats).
+    bool expiry_queued = false;
     int used_map_slots = 0;
     int used_reduce_slots = 0;
     std::unordered_set<AttemptId> attempts;
+    /// (job, map index) of completed maps whose output lives on this
+    /// tracker. Makes DeclareLost's §III.B redistribution O(outputs on the
+    /// lost node) instead of a scan over every map of every job. Ordered,
+    /// so re-execution order matches the legacy jobs-then-index scan.
+    std::set<std::pair<JobId, int>> completed_maps;
   };
   const TrackerEntry& tracker(TrackerId id) const { return trackers_[id]; }
   std::size_t tracker_count() const { return trackers_.size(); }
@@ -260,7 +270,14 @@ class JobTracker {
     obs::Histogram& attempt_duration_s;
   };
 
+  /// Declares lost every alive tracker whose expiry deadline passed.
+  /// Driven by the expiry heap: each tick pops only due entries, so the
+  /// periodic check costs O(due + 1), not O(trackers).
   void CheckTrackers();
+  /// Ensures the tracker has an entry in the expiry heap (no-op if it
+  /// already does — heartbeats just bump last_heartbeat and the stale
+  /// deadline is corrected when it surfaces).
+  void ArmExpiry(TrackerId id);
   void DeclareLost(TrackerId id);
   /// A tracker declared lost came back: the glidein reincarnated, so past
   /// failures say nothing about the new process — drop its blacklist and
@@ -273,6 +290,9 @@ class JobTracker {
   void ReadmitJobs();
   /// Retires a finished job's blacklist entries from the active gauge.
   void RetireBlacklist(JobInfo& job);
+  /// Drops a terminal job's entries from the per-tracker completed-map
+  /// index (its outputs can never be reverted again).
+  void ReleaseCompletedMapIndex(JobInfo& job);
   void ScheduleOn(TrackerId id);  // per-heartbeat task assignment
   bool AssignMap(TrackerId id);
   bool AssignReduce(TrackerId id);
@@ -313,6 +333,23 @@ class JobTracker {
   std::vector<JobId> fifo_;  // submission order; completed jobs pruned lazily
   std::unordered_map<AttemptId, AttemptRecord> attempts_;
   AttemptId next_attempt_ = 1;
+
+  // Min-heap of {deadline, tracker} candidates for lost-tracker expiry.
+  // Entries are not removed on heartbeat; a popped entry whose tracker
+  // heartbeated since is re-armed at its true deadline (lazy invalidation,
+  // same idiom as the sim core's stale heap entries).
+  struct ExpiryEntry {
+    SimTime deadline;
+    TrackerId id;
+  };
+  struct ExpiryLater {
+    bool operator()(const ExpiryEntry& a, const ExpiryEntry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.id > b.id;
+    }
+  };
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>, ExpiryLater>
+      expiry_heap_;
 
   sim::PeriodicTimer tracker_monitor_;
   bool available_ = true;

@@ -29,6 +29,7 @@ SiteId FlowNetwork::AddSite(Rate uplink) {
 NodeId FlowNetwork::AddNode(SiteId site, Rate nic) {
   assert(site < sites_.size());
   nodes_.push_back(Node{site, AddLink(nic), AddLink(nic)});
+  flows_by_node_.emplace_back();
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -123,7 +124,7 @@ void FlowNetwork::RescheduleCompletion(FlowId id, Flow& flow) {
 
 void FlowNetwork::Reallocate(const std::vector<LinkId>& touched) {
   if (config_.sharing == SharingPolicy::kMaxMinFair) {
-    ReallocateMaxMin();
+    ReallocateMaxMin(touched);
     return;
   }
   // Even-share: only flows crossing a touched link can change rate.
@@ -145,78 +146,162 @@ void FlowNetwork::Reallocate(const std::vector<LinkId>& touched) {
   }
 }
 
-void FlowNetwork::ReallocateMaxMin() {
+void FlowNetwork::GatherComponent(const std::vector<LinkId>& seeds,
+                                  std::vector<LinkId>* comp_links,
+                                  std::vector<FlowId>* comp_flows) const {
+  std::unordered_set<LinkId> seen_links;
+  std::unordered_set<FlowId> seen_flows;
+  std::vector<LinkId> work;
+  for (LinkId l : seeds) {
+    if (seen_links.insert(l).second) work.push_back(l);
+  }
+  while (!work.empty()) {
+    const LinkId l = work.back();
+    work.pop_back();
+    comp_links->push_back(l);
+    for (FlowId f : links_[l].flows) {
+      if (!seen_flows.insert(f).second) continue;
+      comp_flows->push_back(f);
+      for (LinkId pl : flows_.at(f).path) {
+        if (seen_links.insert(pl).second) work.push_back(pl);
+      }
+    }
+  }
+  // The solver's entire iteration order derives from these two sorts, so
+  // the rates it produces depend only on which links/flows are in the
+  // component — not on how the worklist happened to discover them.
+  std::sort(comp_links->begin(), comp_links->end());
+  std::sort(comp_flows->begin(), comp_flows->end());
+}
+
+std::vector<Rate> FlowNetwork::SolveComponentRates(
+    const std::vector<LinkId>& comp_links,
+    const std::vector<FlowId>& comp_flows) const {
   // Progressive filling: repeatedly saturate the most-contended link.
+  // Restricted to one (sorted) component; because a flow's share is
+  // derived only from the state of the links on its own path, solving a
+  // component alone or as part of a larger dirty union yields
+  // bitwise-identical rates (ties between links break toward the lowest
+  // link id, and interleaved rounds from a disjoint sub-component never
+  // touch this one's link state).
   struct LinkState {
     double remaining;
     std::size_t unfixed;
   };
-  std::vector<LinkState> state(links_.size());
-  for (std::size_t l = 0; l < links_.size(); ++l) {
-    state[l] = {links_[l].capacity, links_[l].flows.size()};
+  const std::size_t nl = comp_links.size();
+  const std::size_t nf = comp_flows.size();
+  auto link_index = [&comp_links](LinkId l) {
+    return static_cast<std::size_t>(
+        std::lower_bound(comp_links.begin(), comp_links.end(), l) -
+        comp_links.begin());
+  };
+  std::vector<LinkState> state(nl);
+  std::vector<std::vector<std::uint32_t>> flows_on(nl);
+  for (std::size_t i = 0; i < nl; ++i) {
+    const Link& link = links_[comp_links[i]];
+    state[i] = {link.capacity, link.flows.size()};
   }
-  std::unordered_map<FlowId, bool> fixed;
+  std::vector<Rate> rates(nf, 0.0);
+  std::vector<char> fixed(nf, 0);
   std::size_t unfixed_total = 0;
-  for (auto& [id, flow] : flows_) {
-    if (flow.active && !flow.path.empty()) {
-      AdvanceFlow(flow);
-      if (!partitions_.empty() && FlowPartitioned(flow)) {
-        // Severed: pinned at zero and withdrawn from every link it crosses
-        // so it neither claims nor blocks a share.
-        flow.rate = 0.0;
-        fixed[id] = true;
-        for (LinkId l : flow.path) {
-          assert(state[l].unfixed > 0);
-          --state[l].unfixed;
-        }
-        continue;
-      }
-      fixed[id] = false;
-      ++unfixed_total;
+  for (std::size_t i = 0; i < nf; ++i) {
+    const Flow& flow = flows_.at(comp_flows[i]);
+    // comp_flows is ascending, so every flows_on list comes out ascending:
+    // flows on the bottleneck are fixed lowest-id first.
+    for (LinkId l : flow.path) {
+      flows_on[link_index(l)].push_back(static_cast<std::uint32_t>(i));
     }
+    if (!partitions_.empty() && FlowPartitioned(flow)) {
+      // Severed: pinned at zero and withdrawn from every link it crosses
+      // so it neither claims nor blocks a share.
+      fixed[i] = 1;
+      for (LinkId l : flow.path) {
+        LinkState& s = state[link_index(l)];
+        assert(s.unfixed > 0);
+        --s.unfixed;
+      }
+      continue;
+    }
+    ++unfixed_total;
   }
   while (unfixed_total > 0) {
     double best_share = 0.0;
-    LinkId best_link = 0;
+    std::size_t best = 0;
     bool found = false;
-    for (std::size_t l = 0; l < links_.size(); ++l) {
-      if (state[l].unfixed == 0) continue;
+    for (std::size_t i = 0; i < nl; ++i) {
+      if (state[i].unfixed == 0) continue;
       const double share =
-          state[l].remaining / static_cast<double>(state[l].unfixed);
+          state[i].remaining / static_cast<double>(state[i].unfixed);
       if (!found || share < best_share) {
         best_share = share;
-        best_link = static_cast<LinkId>(l);
+        best = i;
         found = true;
       }
     }
     if (!found) break;
     // Fix every unfixed flow crossing the bottleneck at the fair share.
-    const auto flows_here = links_[best_link].flows;  // copy: we mutate state
-    for (FlowId f : flows_here) {
-      auto fit = fixed.find(f);
-      if (fit == fixed.end() || fit->second) continue;
-      fit->second = true;
+    for (std::uint32_t fi : flows_on[best]) {
+      if (fixed[fi]) continue;
+      fixed[fi] = 1;
       --unfixed_total;
-      Flow& flow = flows_.at(f);
-      flow.rate = best_share;
+      const Flow& flow = flows_.at(comp_flows[fi]);
+      rates[fi] = best_share;
       // The WAN cap is applied as a post-hoc ceiling under max-min fairness
       // (slightly non-work-conserving; the capped residue is not
-      // redistributed).
+      // redistributed — links are still charged the full share).
       if (flow.cross_site && config_.wan_flow_cap > 0.0) {
-        flow.rate = std::min(flow.rate, config_.wan_flow_cap);
+        rates[fi] = std::min(rates[fi], config_.wan_flow_cap);
       }
       for (LinkId l : flow.path) {
-        state[l].remaining -= best_share;
-        if (state[l].remaining < 0.0) state[l].remaining = 0.0;
-        assert(state[l].unfixed > 0);
-        --state[l].unfixed;
+        LinkState& s = state[link_index(l)];
+        s.remaining -= best_share;
+        if (s.remaining < 0.0) s.remaining = 0.0;
+        assert(s.unfixed > 0);
+        --s.unfixed;
       }
     }
   }
-  for (auto& [id, was_fixed] : fixed) {
-    (void)was_fixed;
-    RescheduleCompletion(id, flows_.at(id));
+  return rates;
+}
+
+void FlowNetwork::ReallocateMaxMin(const std::vector<LinkId>& touched) {
+  std::vector<LinkId> comp_links;
+  std::vector<FlowId> comp_flows;
+  GatherComponent(touched, &comp_links, &comp_flows);
+  if (comp_flows.empty()) return;
+  const std::vector<Rate> rates = SolveComponentRates(comp_links, comp_flows);
+  for (std::size_t i = 0; i < comp_flows.size(); ++i) {
+    Flow& flow = flows_.at(comp_flows[i]);
+    const Rate rate = rates[i];
+    // Rate-unchanged flows keep both their linear trajectory and their
+    // scheduled completion event — same invariant as the even-share skip
+    // above. Flows outside the dirty component were never gathered, so
+    // disjoint traffic is untouched by construction.
+    if (rate == flow.rate && flow.completion.pending()) continue;
+    if (rate == flow.rate && rate <= 0.0) continue;  // starved stays starved
+    AdvanceFlow(flow);
+    flow.rate = rate;
+    RescheduleCompletion(comp_flows[i], flow);
   }
+}
+
+std::vector<std::pair<FlowId, Rate>> FlowNetwork::MaxMinOracle() const {
+  std::vector<std::pair<FlowId, Rate>> out;
+  std::vector<char> visited(links_.size(), 0);
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (visited[l] || links_[l].flows.empty()) continue;
+    std::vector<LinkId> comp_links;
+    std::vector<FlowId> comp_flows;
+    GatherComponent({static_cast<LinkId>(l)}, &comp_links, &comp_flows);
+    for (LinkId cl : comp_links) visited[cl] = 1;
+    const std::vector<Rate> rates =
+        SolveComponentRates(comp_links, comp_flows);
+    for (std::size_t i = 0; i < comp_flows.size(); ++i) {
+      out.emplace_back(comp_flows[i], rates[i]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void FlowNetwork::RemoveFromLinks(Flow& flow, FlowId id) {
@@ -256,9 +341,9 @@ void FlowNetwork::CancelFlow(FlowId id) {
 }
 
 void FlowNetwork::FailFlowsAtNode(NodeId node) {
-  auto it = flows_by_node_.find(node);
-  if (it == flows_by_node_.end()) return;
-  const std::vector<FlowId> ids(it->second.begin(), it->second.end());
+  if (node >= flows_by_node_.size() || flows_by_node_[node].empty()) return;
+  const std::vector<FlowId> ids(flows_by_node_[node].begin(),
+                                flows_by_node_[node].end());
   for (FlowId id : ids) FinishFlow(id, false);
 }
 

@@ -12,9 +12,16 @@
 //    flows crossing it and a flow runs at the minimum share along its path.
 //    Cheap to maintain incrementally; slightly pessimistic because a flow
 //    bottlenecked elsewhere does not return its unused share.
-//  * kMaxMinFair: exact progressive-filling max-min fairness, recomputed
-//    globally on every change. Used in tests and microbenches as the
-//    reference allocation.
+//  * kMaxMinFair: exact progressive-filling max-min fairness, solved
+//    incrementally: a flow add/remove/capacity change re-solves only the
+//    connected component of links reachable from the touched ("dirty")
+//    links through shared flows. Max-min allocations decompose exactly by
+//    connected component, and the solver iterates links and flows in
+//    sorted order, so the incremental result is byte-identical to a fresh
+//    full solve (MaxMinOracle() recomputes it from scratch; the solver
+//    fuzz test cross-checks every churn step against it). Flows in
+//    untouched components keep their rates and their scheduled completion
+//    events — disjoint traffic is never disturbed.
 #pragma once
 
 #include <cstdint>
@@ -124,6 +131,14 @@ class FlowNetwork {
 
   const FlowNetworkConfig& config() const { return config_; }
 
+  /// Fresh full max-min solve from scratch (per connected component, same
+  /// canonical ordering as the incremental path), returned as (flow, rate)
+  /// pairs sorted by flow id. Covers flows that are active on links; latent
+  /// and loopback flows have no bandwidth allocation and are omitted. The
+  /// differential tests compare this bitwise against the incrementally
+  /// maintained rates after every churn op. Meaningful under kMaxMinFair.
+  std::vector<std::pair<FlowId, Rate>> MaxMinOracle() const;
+
  private:
   using LinkId = std::uint32_t;
 
@@ -182,7 +197,28 @@ class FlowNetwork {
   void Reallocate(const std::vector<LinkId>& touched);
 
   Rate EvenShareRate(const Flow& flow) const;
-  void ReallocateMaxMin();
+
+  /// Incremental max-min: gathers the connected component of the touched
+  /// (dirty) links and re-solves only it. Flows whose rate is unchanged
+  /// keep their scheduled completion event (see satellite invariants in
+  /// the class comment).
+  void ReallocateMaxMin(const std::vector<LinkId>& touched);
+
+  /// Worklist BFS over the links<->flows bipartite graph from `seeds`.
+  /// Outputs are sorted ascending, which fixes the solver's iteration
+  /// order and makes incremental solves bitwise-reproducible.
+  void GatherComponent(const std::vector<LinkId>& seeds,
+                       std::vector<LinkId>* comp_links,
+                       std::vector<FlowId>* comp_flows) const;
+
+  /// Canonical progressive-filling solve restricted to one (sorted)
+  /// component. Pure: returns rates aligned with `comp_flows`, does not
+  /// touch flow state. Both the incremental path and MaxMinOracle() call
+  /// this, so equality between them is structural.
+  std::vector<Rate> SolveComponentRates(
+      const std::vector<LinkId>& comp_links,
+      const std::vector<FlowId>& comp_flows) const;
+
   void RescheduleCompletion(FlowId id, Flow& flow);
 
   sim::Simulation& sim_;
@@ -191,7 +227,9 @@ class FlowNetwork {
   std::vector<Node> nodes_;
   std::vector<Site> sites_;
   std::unordered_map<FlowId, Flow> flows_;
-  std::unordered_map<NodeId, std::unordered_set<FlowId>> flows_by_node_;
+  // NodeId-indexed (node ids are dense, assigned by AddNode): flat arena
+  // lookup on the hot StartFlow/FailFlowsAtNode paths.
+  std::vector<std::unordered_set<FlowId>> flows_by_node_;
   std::unordered_set<std::uint64_t> partitions_;  // severed site pairs
   FlowId next_flow_ = 1;
   Bytes delivered_ = 0;

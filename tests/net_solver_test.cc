@@ -1,0 +1,204 @@
+// Differential and isolation tests for the incremental max-min solver.
+//
+// The solver's contract (src/net/flow_network.h) has three load-bearing
+// claims, each pinned here:
+//  1. Incremental rates are byte-identical to a fresh full solve after
+//     any churn op (add / remove / uplink change) — fuzzed against
+//     MaxMinOracle() for a thousand seeded ops.
+//  2. Churn on one connected component never disturbs flows on disjoint
+//     links: their rates AND their scheduled completion timestamps are
+//     exactly those of a churn-free twin run.
+//  3. A re-solve that leaves a flow's rate unchanged must not
+//     cancel-and-reschedule its completion event (asserted through the
+//     sim queue's cancellation counter).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/flow_network.h"
+#include "src/util/rng.h"
+
+namespace hogsim::net {
+using hogsim::Rng;
+namespace {
+
+FlowNetworkConfig MaxMin(Rate wan_flow_cap) {
+  FlowNetworkConfig config;
+  config.sharing = SharingPolicy::kMaxMinFair;
+  config.wan_flow_cap = wan_flow_cap;
+  return config;
+}
+
+/// 1000 random churn ops (add / cancel / uplink change) on a 6-site
+/// topology, cross-checking every live flow's incrementally maintained
+/// rate bit-for-bit against a fresh full solve after every op.
+void FuzzAgainstOracle(Rate wan_flow_cap, std::uint64_t seed) {
+  sim::Simulation sim;
+  FlowNetwork net(sim, MaxMin(wan_flow_cap));
+
+  constexpr int kSites = 6;
+  constexpr int kNodesPerSite = 4;
+  std::vector<NodeId> nodes;
+  for (int s = 0; s < kSites; ++s) {
+    const SiteId site = net.AddSite(Mbps(60.0 + 35.0 * s));
+    for (int n = 0; n < kNodesPerSite; ++n) {
+      nodes.push_back(net.AddNode(site, Mbps(18.0 + 11.0 * n)));
+    }
+  }
+
+  Rng rng(seed);
+  std::set<FlowId> live;
+
+  const auto check = [&](int op) {
+    const auto oracle = net.MaxMinOracle();
+    std::unordered_map<FlowId, Rate> expected(oracle.begin(), oracle.end());
+    for (FlowId id : live) {
+      const auto it = expected.find(id);
+      // Flows absent from the oracle hold no allocation (still latent):
+      // their incremental rate must be exactly zero.
+      const Rate want = it == expected.end() ? 0.0 : it->second;
+      ASSERT_EQ(net.FlowRate(id), want)
+          << "op " << op << ": flow " << id
+          << " diverged from the fresh full solve";
+    }
+    // Every allocated flow is one we still consider live (completion and
+    // cancellation both retire ids from the network).
+    for (const auto& [id, rate] : oracle) {
+      ASSERT_TRUE(live.count(id) > 0)
+          << "op " << op << ": oracle covers unknown flow " << id;
+    }
+  };
+
+  for (int op = 0; op < 1000; ++op) {
+    const std::int64_t kind = rng.UniformInt(0, 99);
+    if (kind < 55 || live.empty()) {
+      // Add: endpoints anywhere (intra- and cross-site mixes components).
+      const auto last = static_cast<std::int64_t>(nodes.size()) - 1;
+      const auto si = static_cast<std::size_t>(rng.UniformInt(0, last));
+      auto di = static_cast<std::size_t>(rng.UniformInt(0, last));
+      if (di == si) di = (si + 1) % nodes.size();
+      const NodeId src = nodes[si];
+      const NodeId dst = nodes[di];
+      const Bytes bytes = rng.UniformInt(64 * kKiB, 8 * kMiB);
+      auto slot = std::make_shared<FlowId>(kInvalidFlow);
+      const FlowId id =
+          net.StartFlow(src, dst, bytes,
+                        [&live, slot](bool) { live.erase(*slot); });
+      *slot = id;
+      live.insert(id);
+    } else if (kind < 85) {
+      // Cancel a random live flow (callback is not invoked).
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(
+                           0, static_cast<std::int64_t>(live.size()) - 1));
+      const FlowId id = *it;
+      live.erase(it);
+      net.CancelFlow(id);
+    } else {
+      // Degrade or restore a random site uplink.
+      const SiteId site = static_cast<SiteId>(rng.UniformInt(0, kSites - 1));
+      net.SetSiteUplink(site, Mbps(rng.Uniform(10.0, 250.0)));
+    }
+    check(op);
+    // Let latency phases elapse and completions fire (WAN latency is
+    // 40 ms, so most steps activate pending flows; some retire them).
+    sim.RunUntil(sim.now() + rng.UniformInt(1, 60) * kMillisecond);
+    check(op);
+  }
+  EXPECT_GT(net.delivered_bytes(), 0);
+}
+
+TEST(NetSolver, FuzzMatchesOracleUncapped) {
+  FuzzAgainstOracle(/*wan_flow_cap=*/0, /*seed=*/0x5ca1e001);
+}
+
+TEST(NetSolver, FuzzMatchesOracleWithWanCap) {
+  FuzzAgainstOracle(Mbps(32.0), /*seed=*/0x5ca1e002);
+}
+
+/// One quiet "victim" transfer inside site A, with (or without) heavy
+/// add/cancel/uplink churn strictly inside site B. Returns the victim's
+/// completion timestamp.
+SimTime VictimCompletion(bool churn) {
+  sim::Simulation sim;
+  FlowNetwork net(sim, MaxMin(/*wan_flow_cap=*/0));
+  const SiteId sa = net.AddSite(Mbps(100));
+  const SiteId sb = net.AddSite(Mbps(100));
+  const NodeId a1 = net.AddNode(sa, Mbps(40));
+  const NodeId a2 = net.AddNode(sa, Mbps(40));
+  const NodeId b1 = net.AddNode(sb, Mbps(40));
+  const NodeId b2 = net.AddNode(sb, Mbps(40));
+  const NodeId b3 = net.AddNode(sb, Mbps(40));
+
+  SimTime victim_done = -1;
+  net.StartFlow(a1, a2, 20 * kMiB, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    victim_done = sim.now();
+  });
+
+  if (churn) {
+    for (int k = 0; k < 50; ++k) {
+      // Saturating add/cancel churn plus uplink wobble, all on site B's
+      // links (b->b flows traverse only B-side NICs).
+      sim.ScheduleAfter(10 * kMillisecond + k * 70 * kMillisecond, [&net, b1,
+                                                                    b2, b3,
+                                                                    k] {
+        const NodeId dst = (k % 2 == 0) ? b2 : b3;
+        auto slot = std::make_shared<FlowId>(kInvalidFlow);
+        *slot = net.StartFlow(b1, dst, 3 * kMiB, [](bool) {});
+        if (k % 3 == 0) net.CancelFlow(*slot);
+        if (k % 5 == 0) {
+          net.SetSiteUplink(1, Mbps(20.0 + 10.0 * (k % 7)));
+        }
+      });
+    }
+  }
+
+  sim.RunAll();
+  EXPECT_GE(victim_done, 0);
+  return victim_done;
+}
+
+TEST(NetSolver, DisjointChurnDoesNotMoveCompletions) {
+  // Exact timestamp equality, not tolerance: an untouched component must
+  // keep its completion *event*, so the times are the same SimTime tick.
+  EXPECT_EQ(VictimCompletion(/*churn=*/false), VictimCompletion(true));
+}
+
+TEST(NetSolver, UnchangedRateKeepsCompletionEvent) {
+  sim::Simulation sim;
+  FlowNetwork net(sim, MaxMin(/*wan_flow_cap=*/0));
+  const SiteId s = net.AddSite(Gbps(10));
+  const NodeId a = net.AddNode(s, MiBps(4));   // victim's own bottleneck
+  const NodeId b = net.AddNode(s, MiBps(10));  // shared sink
+  const NodeId c = net.AddNode(s, MiBps(4));
+
+  bool victim_ok = false;
+  net.StartFlow(a, b, 8 * kMiB, [&](bool ok) { victim_ok = ok; });
+  sim.RunUntil(sim.now() + kMillisecond);  // past LAN latency: active at 4 MiB/s
+
+  // Adding c->b shares b's RX (same component!) but leaves the victim
+  // pinned at its own 4 MiB/s TX: 10/2 = 5 > 4. The re-solve must see the
+  // unchanged rate and keep the victim's completion event: no sim-queue
+  // cancellation may occur.
+  const std::uint64_t cancelled_before = sim.cancelled();
+  net.StartFlow(c, b, 8 * kMiB, [](bool) {});
+  sim.RunUntil(sim.now() + kMillisecond);
+  EXPECT_EQ(sim.cancelled(), cancelled_before)
+      << "rate-unchanged re-solve cancelled and rescheduled a completion";
+
+  // Contrast: a second a->b flow halves the victim's TX share (4 -> 2),
+  // which legitimately reschedules — the counter must move now.
+  net.StartFlow(a, b, 8 * kMiB, [](bool) {});
+  sim.RunUntil(sim.now() + kMillisecond);
+  EXPECT_GT(sim.cancelled(), cancelled_before);
+
+  sim.RunAll();
+  EXPECT_TRUE(victim_ok);
+}
+
+}  // namespace
+}  // namespace hogsim::net

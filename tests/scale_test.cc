@@ -1,0 +1,124 @@
+// Scale-path regression tests: the deadline-heap expiry monitor at 10k
+// trackers, and byte-identical BENCH_scale output across thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exp/scale_run.h"
+#include "src/exp/sweep.h"
+#include "src/hdfs/dfs_client.h"
+#include "src/hdfs/namenode.h"
+#include "src/hdfs/placement.h"
+#include "src/hdfs/topology.h"
+#include "src/mapreduce/jobtracker.h"
+#include "src/mapreduce/tasktracker.h"
+#include "src/net/flow_network.h"
+#include "src/sim/simulation.h"
+#include "src/storage/disk.h"
+#include "src/util/rng.h"
+
+namespace hogsim {
+namespace {
+
+// The jobtracker's lost-tracker monitor must detect expiries in O(due)
+// per tick, not O(cluster): with 10k registered trackers heartbeating,
+// a killed cohort has to be declared lost within one expiry window plus
+// one monitor period — and the whole run has to stay cheap enough for
+// tier 1, which an O(cluster) scan per tick would not.
+TEST(Scale, TenThousandTrackerExpiryLatency) {
+  constexpr int kTrackers = 10000;
+  constexpr int kKilled = 64;
+
+  sim::Simulation sim;
+  net::FlowNetwork net(sim);
+  const net::SiteId site = net.AddSite(Gbps(100));
+  const net::NodeId master = net.AddNode(site, Gbps(1));
+  hdfs::Namenode nn(sim, net, master, hdfs::FlatTopology(),
+                    hdfs::MakeDefaultPlacement(), Rng(11), {});
+  nn.Start();
+  mr::MrConfig mr_config;
+  mr_config.tracker_expiry = 30 * kSecond;  // HOG's aggressive expiry
+  mr::JobTracker jt(sim, net, nn, master, hdfs::FlatTopology(), mr_config);
+  jt.Start();
+  hdfs::DfsClient dfs(nn);
+
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  std::vector<std::unique_ptr<mr::TaskTracker>> trackers;
+  disks.reserve(kTrackers);
+  trackers.reserve(kTrackers);
+  for (int i = 0; i < kTrackers; ++i) {
+    const net::NodeId node = net.AddNode(site, Gbps(1));
+    disks.push_back(
+        std::make_unique<storage::Disk>(sim, 1 * kGiB, MiBps(60)));
+    trackers.push_back(std::make_unique<mr::TaskTracker>(
+        sim, net, jt, dfs, "w" + std::to_string(i) + ".cluster.local", node,
+        *disks.back(), 1, 1));
+    trackers.back()->Start();
+  }
+
+  sim.RunUntil(10 * kSecond);
+  ASSERT_EQ(jt.tracker_count(), static_cast<std::size_t>(kTrackers));
+  ASSERT_EQ(jt.trackers_declared_lost(), 0u);
+
+  // Kill a cohort spread across the id space at t = 10 s.
+  for (int k = 0; k < kKilled; ++k) {
+    trackers[static_cast<std::size_t>(k) * (kTrackers / kKilled)]
+        ->Shutdown();
+  }
+
+  // Not yet expired: silence must exceed tracker_expiry (30 s).
+  sim.RunUntil(38 * kSecond);
+  EXPECT_EQ(jt.trackers_declared_lost(), 0u);
+
+  // Expiry latency bound: last heartbeat <= 10 s, expiry 30 s, monitor
+  // period = expiry / 6 = 5 s, so every kill is declared by t = 46 s.
+  sim.RunUntil(46 * kSecond);
+  EXPECT_EQ(jt.trackers_declared_lost(), static_cast<std::uint64_t>(kKilled));
+  for (int k = 0; k < kKilled; ++k) {
+    const auto id = static_cast<mr::TrackerId>(
+        static_cast<std::size_t>(k) * (kTrackers / kKilled));
+    EXPECT_FALSE(jt.tracker(id).alive) << "tracker " << id;
+  }
+
+  // Survivors keep heartbeating and stay alive.
+  sim.RunUntil(60 * kSecond);
+  EXPECT_EQ(jt.trackers_declared_lost(), static_cast<std::uint64_t>(kKilled));
+  EXPECT_TRUE(jt.tracker(1).alive);
+  EXPECT_TRUE(jt.tracker(kTrackers - 1).alive);
+}
+
+// The scale sweep's deterministic rows must be thread-schedule
+// independent: the same spec run on 1 thread and on 4 must serialize to
+// byte-identical BENCH JSON once host metrics are off (satellite of the
+// bench_scale --no-host-metrics CI gate).
+TEST(Scale, BenchScaleJsonByteIdenticalAcrossThreads) {
+  const auto render = [](unsigned threads) {
+    exp::SweepSpec spec;
+    spec.name = "scale";
+    spec.seeds = {11, 23};
+    spec.configs = 2;
+    spec.config_labels = {"120n-2s-6j", "120n-2s-12j"};
+    spec.threads = threads;
+    const exp::SweepResult result = exp::RunSweep(
+        spec, [](std::size_t config, std::uint64_t seed) -> exp::Metrics {
+          exp::ScaleConfig scale;
+          scale.nodes = 120;
+          scale.sites = 2;
+          scale.jobs = 6 + static_cast<int>(config) * 6;
+          scale.audit = true;
+          scale.host_metrics = false;  // host rows are machine-dependent
+          return exp::RunScaleWorkload(scale, seed);
+        });
+    return exp::ToBenchJson(spec, result);
+  };
+  const std::string sequential = render(1);
+  const std::string parallel = render(4);
+  EXPECT_EQ(sequential, parallel);
+  EXPECT_NE(sequential.find("\"executed_events\""), std::string::npos);
+  EXPECT_EQ(sequential.find("\"wall_s\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hogsim
