@@ -3,7 +3,9 @@
 # (default and ASan/UBSan) and run the tier1-labelled tests under each —
 # which includes the obs tests (tests/obs_test.cc) in both builds — plus a
 # fault-scenario smoke leg (bench_scenario_storm under a committed
-# scenario, which also proves the examples compiled), the audited fast
+# scenario, which also proves the examples compiled), the scheduler
+# policy-conformance harness plus the audited fast scheduler head-to-head
+# (bench_sched) diffed against BENCH_sched.json, and the audited fast
 # scale grid (bench_scale) diffed against the committed BENCH_scale.json
 # baseline via compare_bench. This is what a PR must keep green; see
 # ROADMAP.md ("tier-1 tests").
@@ -45,6 +47,29 @@ run_preset() {
   # (and, under the sanitize preset, any memory error surfaces here too).
   "$dir/bench/bench_chaos_soak" --fast --audit \
     --out="$dir/BENCH_soak_fast.json"
+  echo "== [$preset] sched conformance =="
+  # The policy-conformance harness, one filtered pass per zoo policy so a
+  # failure names the policy in the leg output, plus the FIFO extraction
+  # golden and the registry grammar tests (under sanitize this is also
+  # the memory-safety pass over every policy's queue bookkeeping).
+  for policy in fifo fair capacity atlas; do
+    "$dir/tests/hogsim_tests" --gtest_brief=1 \
+      --gtest_filter="Policies/SchedConformance.*/$policy"
+  done
+  "$dir/tests/hogsim_tests" --gtest_brief=1 \
+    --gtest_filter="SchedGolden.*:SchedRegistry.*:SchedFair.*:SchedCapacity.*:SchedAtlas.*:SchedBench.*"
+  echo "== [$preset] sched head-to-head (fast, audited) =="
+  # FIFO / Fair / ATLAS under the fixed chaos palette with fail-fast
+  # audits; rows are deterministic, so the next leg diffs them against
+  # the committed baseline.
+  "$dir/bench/bench_sched" --fast --audit \
+    --out="$dir/BENCH_sched_fast.json"
+  echo "== [$preset] compare_bench against BENCH_sched.json =="
+  # The fast run keeps the full-run labels/specs/seeds for its three
+  # policies; the baseline's capacity rows count as missing-in-candidate,
+  # which is not a regression.
+  "$dir/bench/compare_bench" BENCH_sched.json "$dir/BENCH_sched_fast.json" \
+    --tol=0.01
   echo "== [$preset] scale grid (fast, audited) =="
   # The CI-sized nodes x jobs points with the fail-fast auditor armed.
   # --no-host-metrics keeps only the deterministic rows, so the next leg

@@ -272,6 +272,16 @@ void Auditor::AuditMapReduce() {
     if (job_running) {
       ++running;
       blacklisted += static_cast<int>(job.blacklist.size());
+      // DeclareLost forgives the lost tracker, so a blacklist may only
+      // name alive trackers — a dead entry means the mr.blacklist.active
+      // gauge is counting a process that no longer exists.
+      for (mr::TrackerId t : job.blacklist) {
+        if (!jt.trackers_[t].alive) {
+          Report("mr.blacklist_live",
+                 "job " + std::to_string(job.id) + " blacklists dead " +
+                     "tracker " + jt.trackers_[t].hostname);
+        }
+      }
     }
     const auto audit_tasks = [&](const std::vector<mr::TaskInfo>& tasks,
                                  const std::vector<int>& pending,
@@ -303,6 +313,25 @@ void Auditor::AuditMapReduce() {
                "job " + std::to_string(job.id) + " counts " +
                    std::to_string(running_counter) + " running " + kind +
                    " attempts but tasks list " + std::to_string(active));
+      }
+      // Pending lists are pruned lazily, so stale (saturated/complete)
+      // entries are legal — but a duplicate entry means a task was
+      // double-counted as runnable and could win two slots at once, and an
+      // out-of-range index would fault the scheduler's next scan.
+      std::vector<int> seen(tasks.size(), 0);
+      for (int index : pending) {
+        if (index < 0 || static_cast<std::size_t>(index) >= tasks.size()) {
+          Report("mr.pending_valid",
+                 "job " + std::to_string(job.id) + " pending " + kind + " " +
+                     std::to_string(index) + " is out of range");
+          continue;
+        }
+        if (++seen[static_cast<std::size_t>(index)] > 1) {
+          Report("mr.pending_valid",
+                 "job " + std::to_string(job.id) + " " + kind + " " +
+                     std::to_string(index) +
+                     " appears twice in the pending list");
+        }
       }
     };
     audit_tasks(job.maps, job.pending_maps, job.running_map_attempts, "map");

@@ -18,7 +18,7 @@ namespace {
       status == 0 ? stdout : stderr,
       "usage: %s [--seeds=LIST|COUNT] [--threads=N] [--out=PATH] [--fast]\n"
       "          [--metrics-out=PATH] [--trace-out=PATH] [--scenario=PATH]\n"
-      "          [--audit]\n"
+      "          [--audit] [--scheduler=NAME[:PARAMS]]\n"
       "  --seeds=11,23,47  explicit seed list\n"
       "  --seeds=5         first 5 seeds of the default progression\n"
       "  --threads=N       sweep pool width (0 = hardware concurrency)\n"
@@ -31,7 +31,11 @@ namespace {
       "                      trace) injected into every run of the sweep\n"
       "  --audit             arm the cross-layer invariant auditor\n"
       "                      (src/check) in every run; violations fail\n"
-      "                      fast with a diagnostic\n",
+      "                      fast with a diagnostic\n"
+      "  --scheduler=NAME    scheduling policy (fifo, fair, capacity,\n"
+      "                      atlas; optional :params) for benches that run\n"
+      "                      a MapReduce cluster; bench_sched uses it to\n"
+      "                      restrict its policy head-to-head\n",
       prog);
   std::exit(status);
 }
@@ -138,6 +142,11 @@ BenchOptions ParseBenchOptions(int argc, char* const* argv,
     if (eat("--scenario=", value)) {
       if (value.empty()) Usage(prog, 2);
       opts.scenario = std::string(value);
+      continue;
+    }
+    if (eat("--scheduler=", value)) {
+      if (value.empty()) Usage(prog, 2);
+      opts.scheduler = std::string(value);
       continue;
     }
     std::fprintf(stderr, "%s: unknown argument '%s'\n", prog,

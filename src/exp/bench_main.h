@@ -61,6 +61,12 @@ struct BenchOptions {
   /// fail-fast mode: the first violated invariant aborts the bench with a
   /// diagnostic. Audits read state only, so results are unchanged.
   bool audit = false;
+  /// Scheduler policy spec for benches that run a MapReduce cluster
+  /// ("" = the bench's default). Passed to sched::CreatePolicy, so
+  /// "name[:params]" grammars work: --scheduler=fair or
+  /// --scheduler="capacity:queues=prod:0.7:1;adhoc:0.3:1". bench_sched
+  /// instead treats it as a filter over its policy head-to-head.
+  std::string scheduler;
 };
 
 /// The per-run output path for --metrics-out/--trace-out: `base` verbatim

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/sched/policy.h"
 #include "src/util/log.h"
 
 namespace hogsim::mr {
@@ -16,10 +17,15 @@ JobTracker::JobTracker(sim::Simulation& sim, net::FlowNetwork& net,
       nn_(namenode),
       master_(master),
       topology_(std::move(topology)),
-      config_(config),
-      ins_(sim.obs().metrics()) {
+      config_(std::move(config)),
+      ins_(sim.obs().metrics()),
+      view_(std::make_unique<sched::ClusterView>(*this)),
+      policy_(sched::CreatePolicy(config_.scheduler)) {
   assert(topology_);
+  policy_->Attach(*view_);
 }
+
+JobTracker::~JobTracker() = default;
 
 namespace {
 
@@ -59,6 +65,7 @@ TrackerId JobTracker::RegisterTracker(TaskTracker& daemon) {
                                   live_trackers_);
   const TrackerId id = static_cast<TrackerId>(trackers_.size() - 1);
   ArmExpiry(id);
+  policy_->OnTrackerRegistered(id);
   return id;
 }
 
@@ -256,6 +263,16 @@ void JobTracker::DeclareLost(TrackerId id) {
   }
   entry.used_map_slots = 0;
   entry.used_reduce_slots = 0;
+
+  // The glidein behind this tracker is gone, so per-job blacklist entries
+  // describe a dead process: prune them (and their failure counts) now,
+  // decrementing mr.blacklist.active. Previously this only happened on the
+  // reviving heartbeat, so a blacklisted tracker pruned during a blackout
+  // restart left the gauge stuck counting dead processes. Scheduling is
+  // unaffected: the blacklist is only consulted for alive trackers, and a
+  // revival always passed through ForgiveTracker anyway.
+  ForgiveTracker(id);
+  policy_->OnTrackerLost(id);
 }
 
 // ---- Job submission -----------------------------------------------------------
@@ -289,7 +306,7 @@ JobId JobTracker::SubmitJob(JobSpec spec) {
   }
   job.spec = std::move(spec);
   jobs_.push_back(std::move(job));
-  fifo_.push_back(jobs_.back().id);
+  policy_->OnJobSubmitted(jobs_.back().id);
   ++running_jobs_;
   ins_.job_submitted.Add();
   ins_.jobs_running.Set(running_jobs_);
@@ -300,42 +317,11 @@ JobId JobTracker::SubmitJob(JobSpec spec) {
 
 // ---- Scheduling -----------------------------------------------------------------
 
-bool JobTracker::LocalityWaitPermits(JobInfo& job, int locality) {
-  if (config_.locality_wait_node <= 0 || locality == 0) {
-    job.locality_wait_start = -1;
-    return true;
-  }
-  if (job.locality_wait_start < 0) job.locality_wait_start = sim_.now();
-  const SimDuration waited = sim_.now() - job.locality_wait_start;
-  const SimDuration needed =
-      locality == 1 ? config_.locality_wait_node
-                    : config_.locality_wait_node + config_.locality_wait_rack;
-  if (waited >= needed) {
-    job.locality_wait_start = -1;  // concede, and start a fresh wait
-    return true;
-  }
-  return false;
-}
-
 bool JobTracker::TaskNeedsAttempt(const JobInfo& job,
                                   const TaskInfo& task) const {
   return job.state == JobState::kRunning && !task.complete &&
          static_cast<int>(task.active_attempts.size()) < config_.task_copies &&
          task.failures < config_.max_attempts;
-}
-
-bool JobTracker::CanSpeculate(const JobInfo& job, const TaskInfo& task) const {
-  if (!config_.speculative_execution || task.complete ||
-      task.active_attempts.size() != 1) {
-    return false;
-  }
-  const RunningStats& durations =
-      task.type == TaskType::kMap ? job.map_durations : job.reduce_durations;
-  if (durations.count() == 0) return false;
-  const auto it = attempts_.find(task.active_attempts.front());
-  if (it == attempts_.end()) return false;
-  const double runtime = ToSeconds(sim_.now() - it->second.started);
-  return runtime > config_.speculative_slowness * durations.mean();
 }
 
 void JobTracker::ScheduleOn(TrackerId id) {
@@ -349,172 +335,46 @@ void JobTracker::ScheduleOn(TrackerId id) {
   AssignReduce(id);
 }
 
-int JobTracker::PickMapTask(JobInfo& job, const TrackerEntry& tracker,
-                            int* locality, bool* speculative) {
-  if (job.blacklist.contains(
-          static_cast<TrackerId>(&tracker - trackers_.data()))) {
-    return -1;
-  }
-  // Pass over pending maps, classifying by locality tier; stale entries
-  // (completed / already saturated) are pruned on the way.
-  int best = -1;
-  int best_tier = 3;
-  for (std::size_t i = 0; i < job.pending_maps.size();) {
-    const int index = job.pending_maps[i];
-    TaskInfo& task = job.maps[index];
-    if (!TaskNeedsAttempt(job, task)) {
-      job.pending_maps[i] = job.pending_maps.back();
-      job.pending_maps.pop_back();
-      continue;
-    }
-    int tier = 2;
-    if (std::find(task.input_nodes.begin(), task.input_nodes.end(),
-                  tracker.net_node) != task.input_nodes.end()) {
-      tier = 0;
-    } else if (std::find(task.input_racks.begin(), task.input_racks.end(),
-                         tracker.rack) != task.input_racks.end()) {
-      tier = 1;
-    }
-    if (tier < best_tier || (tier == best_tier && best >= 0 && index < best)) {
-      best = index;
-      best_tier = tier;
-    }
-    if (best_tier == 0 && best >= 0) {
-      // Node-local and lowest-index preference satisfied enough; keep
-      // scanning only to prune? Stop early: node-local is optimal.
-      break;
-    }
-    ++i;
-  }
-  if (best >= 0) {
-    *locality = best_tier;
-    *speculative = false;
-    return best;
-  }
-  // No pending work: try speculation (a second copy of a slow task). The
-  // guards keep this scan off the hot path for jobs past their map phase.
-  if (job.running_map_attempts > 0 &&
-      job.maps_completed < static_cast<int>(job.maps.size()) &&
-      job.map_durations.count() > 0) {
-    for (TaskInfo& task : job.maps) {
-      if (CanSpeculate(job, task)) {
-        *locality = 2;
-        *speculative = true;
-        return task.index;
-      }
-    }
-  }
-  return -1;
-}
-
-int JobTracker::PickReduceTask(JobInfo& job, const TrackerEntry& tracker,
-                               bool* speculative) {
-  if (job.blacklist.contains(
-          static_cast<TrackerId>(&tracker - trackers_.data()))) {
-    return -1;
-  }
-  // Reduce slowstart: wait until a fraction of this job's maps completed.
-  const int total_maps = static_cast<int>(job.maps.size());
-  const int threshold = total_maps == 0
-                            ? 0
-                            : std::max(1, static_cast<int>(std::ceil(
-                                              config_.reduce_slowstart *
-                                              total_maps)));
-  if (job.maps_completed < threshold) return -1;
-
-  int best = -1;
-  for (std::size_t i = 0; i < job.pending_reduces.size();) {
-    const int index = job.pending_reduces[i];
-    if (!TaskNeedsAttempt(job, job.reduces[index])) {
-      job.pending_reduces[i] = job.pending_reduces.back();
-      job.pending_reduces.pop_back();
-      continue;
-    }
-    if (best < 0 || index < best) best = index;
-    ++i;
-  }
-  if (best >= 0) {
-    *speculative = false;
-    return best;
-  }
-  if (job.running_reduce_attempts > 0 &&
-      job.reduces_completed < static_cast<int>(job.reduces.size()) &&
-      job.reduce_durations.count() > 0) {
-    for (TaskInfo& task : job.reduces) {
-      if (CanSpeculate(job, task)) {
-        *speculative = true;
-        return task.index;
-      }
-    }
-  }
-  return -1;
-}
+// Task selection lives in the policy (src/sched); the tracker keeps slot
+// admission, locality accounting, and the launch itself.
 
 bool JobTracker::AssignMap(TrackerId id) {
   TrackerEntry& entry = trackers_[id];
   if (entry.used_map_slots >= entry.daemon->map_slots()) return false;
-  for (std::size_t i = 0; i < fifo_.size();) {
-    JobInfo& job = jobs_[fifo_[i]];
-    if (job.state != JobState::kRunning) {
-      fifo_.erase(fifo_.begin() + static_cast<std::ptrdiff_t>(i));
-      continue;
+  const sched::Assignment pick = policy_->PickMap(id);
+  if (!pick.valid()) return false;
+  JobInfo& job = jobs_[pick.job];
+  // Locality accounting covers primary launches only; speculative copies
+  // are placed wherever a slot is free.
+  if (!pick.speculative) {
+    switch (pick.locality) {
+      case 0:
+        ++job.data_local_maps;
+        ins_.map_local.Add();
+        break;
+      case 1:
+        ++job.rack_local_maps;
+        ins_.map_rack.Add();
+        break;
+      default:
+        ++job.remote_maps;
+        ins_.map_remote.Add();
+        break;
     }
-    int locality = 2;
-    bool speculative = false;
-    const int task_index = PickMapTask(job, entry, &locality, &speculative);
-    if (task_index >= 0 && !speculative &&
-        !LocalityWaitPermits(job, locality)) {
-      // Delay scheduling: decline this offer and let the next job bid; a
-      // later heartbeat (often from a data-local node) will serve this
-      // job, or its wait will expire.
-      ++i;
-      continue;
-    }
-    if (task_index >= 0) {
-      // Locality accounting covers primary launches only; speculative
-      // copies are placed wherever a slot is free.
-      if (!speculative) {
-        switch (locality) {
-          case 0:
-            ++job.data_local_maps;
-            ins_.map_local.Add();
-            break;
-          case 1:
-            ++job.rack_local_maps;
-            ins_.map_rack.Add();
-            break;
-          default:
-            ++job.remote_maps;
-            ins_.map_remote.Add();
-            break;
-        }
-      }
-      LaunchAttempt(job, job.maps[task_index], id, speculative, locality);
-      return true;
-    }
-    ++i;
   }
-  return false;
+  LaunchAttempt(job, job.maps[pick.task_index], id, pick.speculative,
+                pick.locality);
+  return true;
 }
 
 bool JobTracker::AssignReduce(TrackerId id) {
   TrackerEntry& entry = trackers_[id];
   if (entry.used_reduce_slots >= entry.daemon->reduce_slots()) return false;
-  for (std::size_t i = 0; i < fifo_.size();) {
-    JobInfo& job = jobs_[fifo_[i]];
-    if (job.state != JobState::kRunning) {
-      fifo_.erase(fifo_.begin() + static_cast<std::ptrdiff_t>(i));
-      continue;
-    }
-    bool speculative = false;
-    const int task_index = PickReduceTask(job, entry, &speculative);
-    if (task_index >= 0) {
-      LaunchAttempt(job, job.reduces[task_index], id, speculative);
-      return true;
-    }
-    ++i;
-  }
-  return false;
+  const sched::Assignment pick = policy_->PickReduce(id);
+  if (!pick.valid()) return false;
+  JobInfo& job = jobs_[pick.job];
+  LaunchAttempt(job, job.reduces[pick.task_index], id, pick.speculative);
+  return true;
 }
 
 void JobTracker::LaunchAttempt(JobInfo& job, TaskInfo& task, TrackerId tracker,
@@ -544,11 +404,13 @@ void JobTracker::LaunchAttempt(JobInfo& job, TaskInfo& task, TrackerId tracker,
     ++speculative_attempts_;
     ins_.attempt_speculative.Add();
   }
-  if (on_attempt_event_) {
-    on_attempt_event_({sim_.now(), AttemptEvent::Kind::kLaunched, job.id,
-                       task.type, task.index, id, tracker, speculative,
-                       FailureKind::kNone});
-  }
+  const AttemptEvent launched{sim_.now(),  AttemptEvent::Kind::kLaunched,
+                              job.id,      task.type,
+                              task.index,  id,
+                              tracker,     speculative,
+                              FailureKind::kNone};
+  policy_->OnAttemptEvent(launched);
+  if (on_attempt_event_) on_attempt_event_(launched);
 
   const SimDuration latency = net_.Latency(master_, entry.net_node);
   TaskTracker* daemon = entry.daemon;
@@ -642,14 +504,18 @@ void JobTracker::ReportAttempt(const AttemptReport& report) {
         "mr", AttemptSpanName(record.type, record.locality, record.speculative),
         record.started, sim_.now() - record.started, record.tracker);
   }
-  if (on_attempt_event_) {
-    on_attempt_event_({sim_.now(),
-                       report.success ? AttemptEvent::Kind::kSucceeded
-                                      : AttemptEvent::Kind::kFailed,
-                       report.job, report.type, report.task_index,
-                       report.attempt, it->second.tracker,
-                       it->second.speculative, report.failure});
-  }
+  const AttemptEvent finished{sim_.now(),
+                              report.success ? AttemptEvent::Kind::kSucceeded
+                                             : AttemptEvent::Kind::kFailed,
+                              report.job,
+                              report.type,
+                              report.task_index,
+                              report.attempt,
+                              it->second.tracker,
+                              it->second.speculative,
+                              report.failure};
+  policy_->OnAttemptEvent(finished);
+  if (on_attempt_event_) on_attempt_event_(finished);
   if (report.success) {
     if (report.type == TaskType::kMap) {
       HandleMapComplete(report);
@@ -771,11 +637,18 @@ void JobTracker::HandleFailure(const AttemptReport& report) {
     FailJob(job);
     return;
   }
-  auto& pending = record.type == TaskType::kMap ? job.pending_maps
-                                                : job.pending_reduces;
-  if (std::find(pending.begin(), pending.end(), record.task_index) ==
-      pending.end()) {
-    pending.push_back(record.task_index);
+  // Requeue only if the task actually needs another attempt. Without the
+  // guard, a failed speculative copy re-enters pending while its primary
+  // attempt is still running — the task is double-counted as runnable, and
+  // under multi-copy churn (tracker dies between heartbeat and assignment)
+  // the stale entry can win a slot the moment the primary finishes.
+  if (TaskNeedsAttempt(job, task)) {
+    auto& pending = record.type == TaskType::kMap ? job.pending_maps
+                                                  : job.pending_reduces;
+    if (std::find(pending.begin(), pending.end(), record.task_index) ==
+        pending.end()) {
+      pending.push_back(record.task_index);
+    }
   }
 }
 
@@ -860,6 +733,7 @@ void JobTracker::MaybeCompleteJob(JobInfo& job) {
   HOG_LOG(kInfo, sim_.now(), "jobtracker")
       << "job " << job.id << " (" << job.spec.name << ") finished in "
       << FormatDuration(job.ResponseTime());
+  policy_->OnJobTerminal(job.id);
   if (on_job_complete_) on_job_complete_(job);
 }
 
@@ -895,7 +769,38 @@ void JobTracker::FailJob(JobInfo& job) {
   }
   HOG_LOG(kWarn, sim_.now(), "jobtracker")
       << "job " << job.id << " (" << job.spec.name << ") FAILED";
+  policy_->OnJobTerminal(job.id);
   if (on_job_complete_) on_job_complete_(job);
+}
+
+// ---- Preemption ------------------------------------------------------------------
+
+void JobTracker::PreemptAttempt(AttemptId id) {
+  auto it = attempts_.find(id);
+  if (it == attempts_.end()) return;
+  const AttemptRecord record = it->second;
+  TrackerEntry& entry = trackers_[record.tracker];
+  if (entry.daemon != nullptr) entry.daemon->KillAttempt(id);
+  FinishAttempt(id);
+  JobInfo& job = jobs_[record.job];
+  if (job.state != JobState::kRunning) return;
+  TaskInfo& task = record.type == TaskType::kMap ? job.maps[record.task_index]
+                                                 : job.reduces[record.task_index];
+  // Preemption is a scheduling decision, not a task fault: no failure
+  // charge, no blacklist pressure, and no attempt event (like the losers
+  // of KillOtherAttempts). The task goes straight back to pending.
+  if (!task.complete && TaskNeedsAttempt(job, task)) {
+    auto& pending = record.type == TaskType::kMap ? job.pending_maps
+                                                  : job.pending_reduces;
+    if (std::find(pending.begin(), pending.end(), record.task_index) ==
+        pending.end()) {
+      pending.push_back(record.task_index);
+    }
+  }
+  ++attempts_preempted_;
+  ins_.attempt_preempted.Add();
+  sim_.obs().tracer().EmitInstant("mr", "attempt.preempted", sim_.now(),
+                                  static_cast<std::uint64_t>(record.tracker));
 }
 
 }  // namespace hogsim::mr

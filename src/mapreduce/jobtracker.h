@@ -1,7 +1,15 @@
-// The MapReduce master: job queue, heartbeat-driven FIFO scheduling with
-// node/site locality, speculative execution, per-job tracker blacklisting,
-// lost-tracker recovery (including re-execution of completed maps whose
-// output died with their node), and the §VI multi-copy extension.
+// The MapReduce master: job and attempt lifecycle, heartbeat-driven task
+// assignment with node/site locality, speculative execution, per-job
+// tracker blacklisting, lost-tracker recovery (including re-execution of
+// completed maps whose output died with their node), and the §VI
+// multi-copy extension.
+//
+// The assignment *policy* — which task a heartbeating tracker runs next —
+// is pluggable: MrConfig::scheduler names a src/sched SchedulerPolicy
+// ("fifo" by default, byte-identical to stock Hadoop 0.20), which the
+// jobtracker feeds through lifecycle hooks and consults once per free
+// slot per heartbeat. The mechanism (slot accounting, launches, reports,
+// recovery) stays here.
 //
 // Like the namenode, the jobtracker lives on HOG's stable central server;
 // every tasktracker interaction crosses the (possibly WAN) network.
@@ -9,6 +17,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <queue>
 #include <set>
 #include <string>
@@ -29,6 +38,12 @@
 namespace hogsim::check {
 class Auditor;
 }  // namespace hogsim::check
+
+namespace hogsim::sched {
+class ClusterView;
+class SchedulerPolicy;
+struct Assignment;
+}  // namespace hogsim::sched
 
 namespace hogsim::mr {
 
@@ -110,9 +125,12 @@ struct JobInfo {
 
 class JobTracker {
  public:
+  /// Builds the scheduling policy from config.scheduler (see src/sched);
+  /// throws std::invalid_argument on an unknown policy name.
   JobTracker(sim::Simulation& sim, net::FlowNetwork& net,
              hdfs::Namenode& namenode, net::NodeId master,
              hdfs::TopologyScript topology, MrConfig config = {});
+  ~JobTracker();  // out-of-line: sched types are incomplete here
 
   /// Arms the lost-tracker monitor.
   void Start();
@@ -191,6 +209,8 @@ class JobTracker {
   std::uint64_t maps_reexecuted() const { return maps_reexecuted_; }
   std::uint64_t speculative_attempts() const { return speculative_attempts_; }
   std::uint64_t attempts_launched() const { return attempts_launched_; }
+  /// Attempts killed by scheduler preemption (no task failure charged).
+  std::uint64_t attempts_preempted() const { return attempts_preempted_; }
   const MrConfig& config() const { return config_; }
   net::NodeId master_node() const { return master_; }
 
@@ -222,6 +242,10 @@ class JobTracker {
   // entries, job state, and the attempt ledger to cross-check slot and
   // attempt accounting.
   friend class ::hogsim::check::Auditor;
+  // The scheduling facade (src/sched): read access for policies plus the
+  // two sanctioned mutations — pending-list pruning inside picks and
+  // PreemptAttempt.
+  friend class ::hogsim::sched::ClusterView;
 
   struct AttemptRecord {
     JobId job = kInvalidJob;
@@ -240,6 +264,7 @@ class JobTracker {
           attempt_succeeded(m.GetCounter("mr.attempt.succeeded")),
           attempt_failed(m.GetCounter("mr.attempt.failed")),
           attempt_speculative(m.GetCounter("mr.attempt.speculative")),
+          attempt_preempted(m.GetCounter("mr.attempt.preempted")),
           map_local(m.GetCounter("mr.map.local")),
           map_rack(m.GetCounter("mr.map.rack")),
           map_remote(m.GetCounter("mr.map.remote")),
@@ -256,6 +281,7 @@ class JobTracker {
     obs::Counter& attempt_succeeded;
     obs::Counter& attempt_failed;
     obs::Counter& attempt_speculative;
+    obs::Counter& attempt_preempted;
     obs::Counter& map_local;
     obs::Counter& map_rack;
     obs::Counter& map_remote;
@@ -279,9 +305,11 @@ class JobTracker {
   /// deadline is corrected when it surfaces).
   void ArmExpiry(TrackerId id);
   void DeclareLost(TrackerId id);
-  /// A tracker declared lost came back: the glidein reincarnated, so past
-  /// failures say nothing about the new process — drop its blacklist and
-  /// failure-count entries from every running job.
+  /// Drops the tracker's blacklist and failure-count entries from every
+  /// running job, keeping mr.blacklist.active in step. Called when the
+  /// tracker is declared lost (its process — and thus the history those
+  /// entries describe — is gone) and, defensively, when a lost tracker's
+  /// heartbeat revives it (the glidein reincarnated).
   void ForgiveTracker(TrackerId id);
   /// Deterministic post-blackout re-admission: rebuilds every running
   /// job's pending lists as the sorted set of tasks that need attempts, so
@@ -296,16 +324,15 @@ class JobTracker {
   void ScheduleOn(TrackerId id);  // per-heartbeat task assignment
   bool AssignMap(TrackerId id);
   bool AssignReduce(TrackerId id);
-  int PickMapTask(JobInfo& job, const TrackerEntry& tracker, int* locality,
-                  bool* speculative);
-  /// Delay-scheduling gate: may job launch at this locality tier now?
-  bool LocalityWaitPermits(JobInfo& job, int locality);
-  int PickReduceTask(JobInfo& job, const TrackerEntry& tracker,
-                     bool* speculative);
   /// `locality` labels map attempts (0 node-local / 1 rack-local /
   /// 2 remote) for accounting and trace spans; reduces always pass 2.
   void LaunchAttempt(JobInfo& job, TaskInfo& task, TrackerId tracker,
                      bool speculative, int locality = 2);
+  /// Kills a running attempt and requeues its task without charging a
+  /// task failure or blacklist strike (scheduler preemption, via
+  /// sched::ClusterView). No attempt event is emitted, matching
+  /// KillOtherAttempts' treatment of losing speculative copies.
+  void PreemptAttempt(AttemptId id);
   void HandleMapComplete(const AttemptReport& report);
   void HandleReduceComplete(const AttemptReport& report);
   void HandleFailure(const AttemptReport& report);
@@ -318,7 +345,6 @@ class JobTracker {
   void SendMapSnapshot(JobInfo& job, AttemptId reduce_attempt,
                        TrackerId tracker);
   bool TaskNeedsAttempt(const JobInfo& job, const TaskInfo& task) const;
-  bool CanSpeculate(const JobInfo& job, const TaskInfo& task) const;
 
   sim::Simulation& sim_;
   net::FlowNetwork& net_;
@@ -330,9 +356,13 @@ class JobTracker {
 
   std::vector<TrackerEntry> trackers_;
   std::vector<JobInfo> jobs_;
-  std::vector<JobId> fifo_;  // submission order; completed jobs pruned lazily
   std::unordered_map<AttemptId, AttemptRecord> attempts_;
   AttemptId next_attempt_ = 1;
+
+  // The pluggable task-selection policy (src/sched) and its facade over
+  // this jobtracker. Job-ordering queues live inside the policy.
+  std::unique_ptr<sched::ClusterView> view_;
+  std::unique_ptr<sched::SchedulerPolicy> policy_;
 
   // Min-heap of {deadline, tracker} candidates for lost-tracker expiry.
   // Entries are not removed on heartbeat; a popped entry whose tracker
@@ -363,6 +393,7 @@ class JobTracker {
   std::uint64_t maps_reexecuted_ = 0;
   std::uint64_t speculative_attempts_ = 0;
   std::uint64_t attempts_launched_ = 0;
+  std::uint64_t attempts_preempted_ = 0;
   std::function<void(const JobInfo&)> on_job_complete_;
   std::function<void(const AttemptEvent&)> on_attempt_event_;
 };

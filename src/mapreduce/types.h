@@ -28,6 +28,11 @@ struct JobSpec {
   hdfs::FileId input = hdfs::kInvalidFile;
   int num_reduces = 1;
 
+  /// Submitting user — the Fair scheduler's pool key ("" = "default").
+  std::string user;
+  /// Target queue — the Capacity scheduler's routing key ("" = "default").
+  std::string queue;
+
   /// Map output bytes = selectivity * input bytes (loadgen's keep ratio).
   double map_selectivity = 1.0;
   /// Reduce (HDFS) output bytes = selectivity * shuffled bytes.
@@ -49,6 +54,12 @@ struct JobSpec {
 ///   task_copies            1 (+speculation)     configurable (§VI ext.)
 ///   disk_check_interval    0 (off)              3 min (§IV.D.1 fix)
 struct MrConfig {
+  /// Scheduling policy, resolved through sched::CreatePolicy: "fifo"
+  /// (stock Hadoop 0.20 behaviour, the default), "fair", "capacity", or
+  /// "atlas", optionally with policy parameters after a colon
+  /// ("capacity:queues=prod:0.6:1.0;adhoc:0.4:0.8"). See src/sched.
+  std::string scheduler = "fifo";
+
   SimDuration heartbeat_interval = 3 * kSecond;
   /// A tasktracker silent for this long is declared lost.
   SimDuration tracker_expiry = 10 * kMinute;

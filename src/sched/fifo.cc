@@ -1,0 +1,44 @@
+#include "src/sched/fifo.h"
+
+namespace hogsim::sched {
+
+Assignment FifoPolicy::PickMap(mr::TrackerId tracker) {
+  for (std::size_t i = 0; i < queue_.size();) {
+    mr::JobInfo& job = view_->job(queue_[i]);
+    if (job.state != mr::JobState::kRunning) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    int locality = 2;
+    bool speculative = false;
+    const int task = view_->PickMapTask(job, tracker, &locality, &speculative);
+    if (task >= 0 && !speculative &&
+        !view_->LocalityWaitPermits(job, locality)) {
+      // Delay scheduling: decline this offer and let the next job bid; a
+      // later heartbeat (often from a data-local node) will serve this
+      // job, or its wait will expire.
+      ++i;
+      continue;
+    }
+    if (task >= 0) return {job.id, task, speculative, locality};
+    ++i;
+  }
+  return {};
+}
+
+Assignment FifoPolicy::PickReduce(mr::TrackerId tracker) {
+  for (std::size_t i = 0; i < queue_.size();) {
+    mr::JobInfo& job = view_->job(queue_[i]);
+    if (job.state != mr::JobState::kRunning) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    bool speculative = false;
+    const int task = view_->PickReduceTask(job, tracker, &speculative);
+    if (task >= 0) return {job.id, task, speculative, 2};
+    ++i;
+  }
+  return {};
+}
+
+}  // namespace hogsim::sched

@@ -1,0 +1,29 @@
+// Stock Hadoop 0.20 FIFO scheduling: jobs in submission order, delay
+// scheduling (when configured), locality-tiered picks, slowness-triggered
+// speculation. Byte-identical to the pre-extraction jobtracker — the
+// golden pin in tests/sched_golden_test.cc enforces it, so this policy
+// must never arm timers or consume RNG.
+#pragma once
+
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace hogsim::sched {
+
+class FifoPolicy : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+
+  Assignment PickMap(mr::TrackerId tracker) override;
+  Assignment PickReduce(mr::TrackerId tracker) override;
+
+  void OnJobSubmitted(mr::JobId job) override { queue_.push_back(job); }
+
+ private:
+  /// Submission order; terminal jobs pruned lazily on pick, exactly like
+  /// the legacy jobtracker's fifo_ vector.
+  std::vector<mr::JobId> queue_;
+};
+
+}  // namespace hogsim::sched

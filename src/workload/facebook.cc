@@ -71,6 +71,8 @@ mr::JobSpec MakeJobSpec(const ScheduledJob& job, hdfs::FileId input,
   spec.name = job.name;
   spec.input = input;
   spec.num_reduces = job.reduces;
+  spec.user = job.user;
+  spec.queue = job.queue;
   spec.map_selectivity = config.map_selectivity;
   spec.reduce_selectivity = config.reduce_selectivity;
   spec.map_compute_rate = config.map_compute_rate;

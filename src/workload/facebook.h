@@ -44,6 +44,10 @@ struct ScheduledJob {
   int reduces = 0;
   SimTime submit_time = 0;
   std::string name;
+  /// Submitting user ("" = "default"): the Fair scheduler's pool key.
+  std::string user;
+  /// Target queue ("" = first declared): the Capacity scheduler's route.
+  std::string queue;
 };
 
 struct WorkloadConfig {

@@ -327,20 +327,60 @@ TEST(Blacklist, ShrinksWhenTrackerReincarnates) {
   EXPECT_EQ(
       h.sim().obs().metrics().GetGauge("mr.blacklist.active").value(), 1.0);
 
-  // The zombie process finally dies; expiry declares the tracker lost but
-  // the blacklist entries stay (the job is still running).
+  // The zombie process finally dies; expiry declares the tracker lost and
+  // prunes its blacklist entries on the spot — the process those entries
+  // described no longer exists.
   h.tracker(0).Shutdown();
   h.sim().RunUntil(h.sim().now() + 2 * kMinute);
   ASSERT_EQ(h.jt().job(job).state, mr::JobState::kRunning);
-  EXPECT_EQ(h.jt().blacklisted_entries(), 1);
-
-  // First heartbeat of the reincarnated glidein: the old failures say
-  // nothing about the new process, so the blacklist must shrink.
-  h.jt().Heartbeat(0);
   EXPECT_FALSE(h.jt().job(job).blacklist.contains(0));
   EXPECT_EQ(h.jt().blacklisted_entries(), 0);
   EXPECT_EQ(
       h.sim().obs().metrics().GetGauge("mr.blacklist.active").value(), 0.0);
+
+  // The reincarnated glidein's first heartbeat starts from a clean slate.
+  h.jt().Heartbeat(0);
+  EXPECT_FALSE(h.jt().job(job).blacklist.contains(0));
+  EXPECT_EQ(h.jt().blacklisted_entries(), 0);
+}
+
+TEST(Blacklist, PrunedWhenBlacklistedTrackerDiesDuringBlackout) {
+  mr::MrConfig config;
+  config.tracker_blacklist_failures = 4;
+  config.tracker_expiry = 30 * kSecond;
+  config.max_attempts = 12;
+  MrHarness h(4, config);
+  h.tracker(0).EnterZombieMode();
+  h.datanode(0).EnterZombieMode();
+  const mr::JobId job = h.Submit(32 * 64 * kMiB, 2, /*map_rate_mibps=*/1);
+  SimTime deadline = h.sim().now() + kHour;
+  while (!h.jt().job(job).blacklist.contains(0) && h.sim().now() < deadline) {
+    h.sim().RunUntil(h.sim().now() + kSecond);
+  }
+  ASSERT_TRUE(h.jt().job(job).blacklist.contains(0));
+  EXPECT_EQ(h.jt().blacklisted_entries(), 1);
+
+  // The master blacks out, and while it is down the blacklisted zombie
+  // dies for good. Nobody watches it die (the lost-tracker monitor is
+  // stopped), so the gauge still counts it...
+  h.jt().Crash();
+  h.tracker(0).Shutdown();
+  h.sim().RunUntil(h.sim().now() + 2 * kMinute);
+  EXPECT_EQ(h.jt().blacklisted_entries(), 1);
+
+  // ...until Restart()'s sweep declares it lost, which must prune its
+  // entries and decrement mr.blacklist.active — previously the gauge kept
+  // counting the dead process until the job finished.
+  h.jt().Restart();
+  ASSERT_EQ(h.jt().job(job).state, mr::JobState::kRunning);
+  EXPECT_FALSE(h.jt().job(job).blacklist.contains(0));
+  EXPECT_EQ(h.jt().blacklisted_entries(), 0);
+  EXPECT_EQ(
+      h.sim().obs().metrics().GetGauge("mr.blacklist.active").value(), 0.0);
+
+  // The auditor's mr.blacklist_gauge / mr.blacklist_live invariants agree.
+  check::Auditor auditor(h.sim(), nullptr, &h.jt(), nullptr);
+  EXPECT_EQ(auditor.AuditNow(), 0u);
 }
 
 // ---- Deterministic jobtracker blackout recovery ----------------------------

@@ -1,0 +1,159 @@
+// Multi-site MapReduce harness shared by the scheduler golden and
+// conformance suites (tests/sched_golden_test.cc,
+// tests/sched_conformance_test.cc).
+//
+// Unlike mapreduce_test.cc's single-rack MrHarness, this one spreads
+// workers over several sites with HOG's site-awareness topology and
+// site-aware placement, so locality tiers (node-local / rack-local /
+// off-site) are all reachable and per-policy locality behaviour is
+// observable. Everything is seeded and deterministic: two harnesses built
+// with the same config produce byte-identical simulations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/check/auditor.h"
+#include "src/hdfs/datanode.h"
+#include "src/hdfs/dfs_client.h"
+#include "src/hdfs/namenode.h"
+#include "src/hdfs/placement.h"
+#include "src/hdfs/topology.h"
+#include "src/mapreduce/jobtracker.h"
+#include "src/mapreduce/tasktracker.h"
+#include "src/net/flow_network.h"
+#include "src/sim/simulation.h"
+#include "src/storage/disk.h"
+#include "src/util/rng.h"
+
+namespace hogsim::schedtest {
+
+struct SchedHarnessConfig {
+  int sites = 3;
+  int workers_per_site = 4;
+  int map_slots = 2;
+  int reduce_slots = 1;
+  Bytes disk = 20 * kGiB;
+  /// Seed for the namenode's placement RNG (block locations — and through
+  /// them, which trackers are node-local for which map).
+  std::uint64_t seed = 11;
+  mr::MrConfig mr;
+  hdfs::HdfsConfig hdfs;
+};
+
+class SchedHarness {
+ public:
+  explicit SchedHarness(SchedHarnessConfig config = {})
+      : config_(std::move(config)), net_(sim_) {
+    const net::SiteId master_site = net_.AddSite(Gbps(10));
+    master_ = net_.AddNode(master_site, Gbps(1));
+    nn_ = std::make_unique<hdfs::Namenode>(
+        sim_, net_, master_, hdfs::SiteAwarenessScript(),
+        hdfs::MakeSiteAwarePlacement(), Rng(config_.seed), config_.hdfs);
+    nn_->Start();
+    jt_ = std::make_unique<mr::JobTracker>(sim_, net_, *nn_, master_,
+                                           hdfs::SiteAwarenessScript(),
+                                           config_.mr);
+    jt_->Start();
+    dfs_ = std::make_unique<hdfs::DfsClient>(*nn_);
+    for (int s = 0; s < config_.sites; ++s) {
+      const net::SiteId site = net_.AddSite(Gbps(10));
+      for (int w = 0; w < config_.workers_per_site; ++w) {
+        AddWorker(site, s);
+      }
+    }
+  }
+
+  /// Registers one more worker on grid site `s` (net site ids are offset
+  /// by one for the master's site). Used by the fuzzer to model glidein
+  /// reincarnation: new trackers keep arriving while old ones die.
+  void AddWorkerOnSite(int s) {
+    AddWorker(static_cast<net::SiteId>(1 + s), s);
+  }
+
+  mr::JobId Submit(int maps, int reduces, std::string user = "",
+                   std::string queue = "", double map_rate_mibps = 20,
+                   double reduce_rate_mibps = 20) {
+    mr::JobSpec spec;
+    spec.name = "j" + std::to_string(jt_->job_count());
+    spec.input = nn_->ImportFile("in" + std::to_string(jt_->job_count()),
+                                 static_cast<Bytes>(maps) * 64 * kMiB);
+    spec.num_reduces = reduces;
+    spec.user = std::move(user);
+    spec.queue = std::move(queue);
+    spec.map_compute_rate = MiBps(map_rate_mibps);
+    spec.reduce_compute_rate = MiBps(reduce_rate_mibps);
+    return jt_->SubmitJob(std::move(spec));
+  }
+
+  bool RunToCompletion(SimTime deadline = 8 * kHour) {
+    while (!jt_->AllJobsDone() && sim_.now() < deadline) {
+      sim_.RunUntil(sim_.now() + kSecond);
+    }
+    return jt_->AllJobsDone();
+  }
+
+  /// Kills worker `i`'s processes (tracker + datanode) outright; the
+  /// masters learn through heartbeat expiry, like a grid preemption.
+  void KillWorker(std::size_t i) {
+    workers_[i]->datanode->Shutdown();
+    workers_[i]->tracker->Shutdown();
+    net_.FailFlowsAtNode(workers_[i]->tracker->net_node());
+    workers_[i]->disk->CancelAll();
+  }
+
+  sim::Simulation& sim() { return sim_; }
+  hdfs::Namenode& nn() { return *nn_; }
+  mr::JobTracker& jt() { return *jt_; }
+  mr::TaskTracker& tracker(std::size_t i) { return *workers_[i]->tracker; }
+  std::size_t worker_count() const { return workers_.size(); }
+  const SchedHarnessConfig& config() const { return config_; }
+
+  /// Arms a fail-fast cross-layer auditor (src/check) over the harness.
+  /// The returned auditor must not outlive the harness.
+  std::unique_ptr<check::Auditor> ArmAuditor(SimDuration period) {
+    check::Auditor::Options opts;
+    opts.fail_fast = true;
+    opts.period = period;
+    auto auditor = std::make_unique<check::Auditor>(sim_, nn_.get(), jt_.get(),
+                                                    nullptr, opts);
+    auditor->Start();
+    return auditor;
+  }
+
+ private:
+  struct Worker {
+    std::unique_ptr<storage::Disk> disk;
+    std::unique_ptr<hdfs::Datanode> datanode;
+    std::unique_ptr<mr::TaskTracker> tracker;
+  };
+
+  void AddWorker(net::SiteId net_site, int grid_site) {
+    const net::NodeId node = net_.AddNode(net_site, Gbps(1));
+    const std::string hostname = "w" + std::to_string(workers_.size()) +
+                                 ".site" + std::to_string(grid_site) + ".edu";
+    auto worker = std::make_unique<Worker>();
+    worker->disk =
+        std::make_unique<storage::Disk>(sim_, config_.disk, MiBps(80));
+    worker->datanode = std::make_unique<hdfs::Datanode>(
+        sim_, net_, *nn_, hostname, node, *worker->disk);
+    worker->datanode->Start();
+    worker->tracker = std::make_unique<mr::TaskTracker>(
+        sim_, net_, *jt_, *dfs_, hostname, node, *worker->disk,
+        config_.map_slots, config_.reduce_slots);
+    worker->tracker->Start();
+    workers_.push_back(std::move(worker));
+  }
+
+  SchedHarnessConfig config_;
+  sim::Simulation sim_;
+  net::FlowNetwork net_;
+  net::NodeId master_ = net::kInvalidNode;
+  std::unique_ptr<hdfs::Namenode> nn_;
+  std::unique_ptr<mr::JobTracker> jt_;
+  std::unique_ptr<hdfs::DfsClient> dfs_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace hogsim::schedtest
