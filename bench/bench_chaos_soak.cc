@@ -55,12 +55,13 @@ int main(int argc, char** argv) {
   const bool fail_fast = opts.audit;
   const exp::SweepResult sweep = exp::RunBenchSweep(
       opts, spec,
-      [&scenarios, fail_fast](std::size_t config,
-                              std::uint64_t seed) -> exp::Metrics {
+      [&scenarios, fail_fast, repl_target = opts.repl_target](
+          std::size_t config, std::uint64_t seed) -> exp::Metrics {
         exp::HogRunOptions ropts;
         ropts.audit = true;
         ropts.audit_fail_fast = fail_fast;
         ropts.drain_deadline = 2 * kHour;
+        ropts.repl_target = repl_target;
         const auto result =
             exp::RunHogWorkload(55, seed, {}, &scenarios[config], ropts);
         const int jobs =

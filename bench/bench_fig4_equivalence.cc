@@ -42,10 +42,12 @@ int main(int argc, char** argv) {
   for (int nodes : points) {
     spec.config_labels.push_back("hog" + std::to_string(nodes));
   }
+  exp::HogRunOptions ropts;
+  ropts.repl_target = opts.repl_target;
   const exp::SweepResult sweep = exp::RunBenchSweep(
       opts, spec,
-      [&points, &scenario](std::size_t config,
-                           std::uint64_t seed) -> exp::Metrics {
+      [&points, &scenario, &ropts](std::size_t config,
+                                   std::uint64_t seed) -> exp::Metrics {
         if (config == 0) {
           const auto result = exp::RunClusterWorkload(seed);
           return {{"response_s", result.response_time_s},
@@ -53,7 +55,8 @@ int main(int argc, char** argv) {
                   {"reached", 1.0}};
         }
         const int nodes = points[config - 1];
-        const auto result = exp::RunHogWorkload(nodes, seed, {}, &scenario);
+        const auto result =
+            exp::RunHogWorkload(nodes, seed, {}, &scenario, ropts);
         // An unreached deployment target leaves the response unmeasurable;
         // NaN serializes as null and is excluded from the summaries.
         const double response = result.reached_target

@@ -82,8 +82,11 @@ int main(int argc, char** argv) {
         std::size_t idx = 0;
         while (seeds[idx] != seed) ++idx;
         const bool unstable = idx + 1 == seeds.size();
+        exp::HogRunOptions ropts;
+        ropts.repl_target = opts.repl_target;
         runs[idx] = exp::RunHogWorkload(
-            55, seed, unstable ? UnstableGrid() : StableGrid(), &scenario);
+            55, seed, unstable ? UnstableGrid() : StableGrid(), &scenario,
+            ropts);
         return {{"response_s", runs[idx].workload.response_time_s},
                 {"area_node_s", runs[idx].area_beneath_curve}};
       });

@@ -48,9 +48,12 @@ int main(int argc, char** argv) {
       opts, spec, [&](std::size_t, std::uint64_t seed) -> exp::Metrics {
         std::size_t idx = 0;
         while (seeds[idx] != seed) ++idx;
-        auto run = idx + 1 == seeds.size()
-                       ? exp::RunHogWorkload(55, seed, unstable, &scenario)
-                       : exp::RunHogWorkload(55, seed, {}, &scenario);
+        exp::HogRunOptions ropts;
+        ropts.repl_target = opts.repl_target;
+        auto run =
+            idx + 1 == seeds.size()
+                ? exp::RunHogWorkload(55, seed, unstable, &scenario, ropts)
+                : exp::RunHogWorkload(55, seed, {}, &scenario, ropts);
         exp::Metrics metrics = {
             {"response_s", run.workload.response_time_s},
             {"area_node_s", run.area_beneath_curve},

@@ -5,10 +5,11 @@
 # fault-scenario smoke leg (bench_scenario_storm under a committed
 # scenario, which also proves the examples compiled), the scheduler
 # policy-conformance harness plus the audited fast scheduler head-to-head
-# (bench_sched) diffed against BENCH_sched.json, and the audited fast
-# scale grid (bench_scale) diffed against the committed BENCH_scale.json
-# baseline via compare_bench. This is what a PR must keep green; see
-# ROADMAP.md ("tier-1 tests").
+# (bench_sched) diffed against BENCH_sched.json, the audited fast
+# replication ladder (bench_repl) diffed against BENCH_repl.json, and the
+# audited fast scale grid (bench_scale) diffed against the committed
+# BENCH_scale.json baseline via compare_bench. This is what a PR must
+# keep green; see ROADMAP.md ("tier-1 tests").
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   default preset only (skip the sanitizer build)
@@ -69,6 +70,18 @@ run_preset() {
   # policies; the baseline's capacity rows count as missing-in-candidate,
   # which is not a regression.
   "$dir/bench/compare_bench" BENCH_sched.json "$dir/BENCH_sched_fast.json" \
+    --tol=0.01
+  echo "== [$preset] replication ladder (fast, audited) =="
+  # Flat RF=10 vs the availability-targeted controller under the soak
+  # palette with fail-fast audits; the bench itself gates zero violations,
+  # zero lost committed outputs, and adaptive storing fewer bytes than
+  # rf10. Rows are deterministic, so the next leg diffs them against the
+  # committed baseline (the full ladder's rf3/rf5/adaptive9999 rows count
+  # as missing-in-candidate, which is not a regression).
+  "$dir/bench/bench_repl" --fast --audit \
+    --out="$dir/BENCH_repl_fast.json"
+  echo "== [$preset] compare_bench against BENCH_repl.json =="
+  "$dir/bench/compare_bench" BENCH_repl.json "$dir/BENCH_repl_fast.json" \
     --tol=0.01
   echo "== [$preset] scale grid (fast, audited) =="
   # The CI-sized nodes x jobs points with the fail-fast auditor armed.

@@ -4,6 +4,12 @@
 # must name a real heading (GitHub slug rules) in the target file.
 # External (http/https/mailto) links are not checked.
 #
+# Also keeps the module maps honest: every src/<module> directory must
+# appear in DESIGN.md's §2 inventory ("<module>/") and in
+# docs/ARCHITECTURE.md's per-directory table ("src/<module>/") — adding a
+# module without documenting it fails here, which is how the maps stopped
+# silently drifting behind the source tree.
+#
 # Usage: scripts/check_docs.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -56,9 +62,29 @@ for src in files:
             if anchor not in anchors_of(resolved):
                 errors.append(f"{src}: no heading for anchor: {target}")
 
+# Module-map coverage: every source module must be documented in both
+# inventories. DESIGN.md lists modules as "<name>/" inside the §2 code
+# block; docs/ARCHITECTURE.md's table keys rows by "src/<name>/".
+modules = sorted(
+    d for d in os.listdir("src")
+    if os.path.isdir(os.path.join("src", d))
+    and any(f.endswith((".h", ".cc")) for f in os.listdir(os.path.join("src", d)))
+)
+with open("DESIGN.md", encoding="utf-8") as f:
+    design = f.read()
+with open("docs/ARCHITECTURE.md", encoding="utf-8") as f:
+    architecture = f.read()
+for mod in modules:
+    if f"{mod}/" not in design:
+        errors.append(f"DESIGN.md: module map is missing src/{mod} ('{mod}/')")
+    if f"src/{mod}/" not in architecture:
+        errors.append(
+            f"docs/ARCHITECTURE.md: per-directory table is missing 'src/{mod}/'")
+
 for e in errors:
     print(f"check_docs: {e}", file=sys.stderr)
 if errors:
     sys.exit(1)
-print(f"check_docs: {len(files)} files, all links resolve")
+print(f"check_docs: {len(files)} files, all links resolve; "
+      f"{len(modules)} src modules documented in both maps")
 EOF

@@ -1,12 +1,14 @@
 #include "src/check/auditor.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "src/grid/grid.h"
 #include "src/hdfs/datanode.h"
 #include "src/hdfs/namenode.h"
+#include "src/hdfs/repl_controller.h"
 #include "src/mapreduce/jobtracker.h"
 #include "src/util/log.h"
 
@@ -49,6 +51,7 @@ std::size_t Auditor::AuditNow() {
   ++audits_run_;
   ins_.audits.Add();
   if (nn_ != nullptr) AuditHdfs();
+  if (nn_ != nullptr && repl_ != nullptr) AuditReplController();
   if (jt_ != nullptr) AuditMapReduce();
   if (grid_ != nullptr) AuditGrid();
   return pass_violations_;
@@ -129,8 +132,15 @@ void Auditor::AuditHdfs() {
     // blocks short of their target, at the level their live-replica count
     // dictates (the membership predicate of Namenode::UpdateNeeded).
     int counted = 0;
+    std::vector<std::string_view> counted_racks;
     for (hdfs::DatanodeId dn : info.holders) {
-      if (!nn.datanodes_[dn].decommissioning) ++counted;
+      if (nn.datanodes_[dn].decommissioning) continue;
+      ++counted;
+      const std::string_view rack = nn.datanodes_[dn].rack;
+      if (std::find(counted_racks.begin(), counted_racks.end(), rack) ==
+          counted_racks.end()) {
+        counted_racks.push_back(rack);
+      }
     }
     const bool should_need =
         counted + info.pending_replications < info.replication &&
@@ -145,13 +155,21 @@ void Auditor::AuditHdfs() {
                  (should_need ? "missing from" : "stale in") +
                  " the replication queue");
     } else if (should_need) {
-      const int want =
-          hdfs::ReplicationQueue::LevelFor(counted, info.replication);
+      const int want = hdfs::ReplicationQueue::LevelFor(
+          counted, info.replication, static_cast<int>(counted_racks.size()));
       if (nn.needed_.level_of(id) != want) {
         Report("hdfs.needed_level",
                "block " + std::to_string(id) + " queued at level " +
                    std::to_string(nn.needed_.level_of(id)) + ", expected " +
                    std::to_string(want));
+      }
+      // The within-level order is keyed by deficit; a stale deficit means
+      // a block that lost another replica kept its old queue position.
+      if (nn.needed_.deficit_of(id) != info.replication - counted) {
+        Report("hdfs.needed_deficit",
+               "block " + std::to_string(id) + " queued with deficit " +
+                   std::to_string(nn.needed_.deficit_of(id)) +
+                   ", expected " + std::to_string(info.replication - counted));
       }
     }
   }
@@ -205,6 +223,55 @@ void Auditor::AuditHdfs() {
     Report("hdfs.live_count",
            "live_datanodes=" + std::to_string(nn.live_datanodes_) +
                " but " + std::to_string(live) + " entries are alive");
+  }
+}
+
+// ---- Adaptive replication ---------------------------------------------------
+
+void Auditor::AuditReplController() {
+  const hdfs::Namenode& nn = *nn_;
+  const hdfs::ReplController& ctl = *repl_;
+  const int floor = ctl.config().min_replication;
+  const int cap = ctl.config().max_replication;
+
+  for (hdfs::BlockId id = 0; id < nn.blocks_.size(); ++id) {
+    const auto& info = nn.blocks_[id];
+    if (!info.live || !info.committed) continue;
+    // Files deliberately created below the floor are outside the
+    // controller's contract and must stay untouched.
+    const int file_rep = nn.files_[info.file].replication;
+    if (file_rep < floor) {
+      if (info.replication != file_rep) {
+        Report("hdfs.repl_unmanaged",
+               "block " + std::to_string(id) + " of a replication-" +
+                   std::to_string(file_rep) + " file retargeted to " +
+                   std::to_string(info.replication) +
+                   " despite being below the controller floor");
+      }
+      continue;
+    }
+    // The controller clamps every managed target into [floor, cap]: a
+    // target below the floor would let safe-looking trims erode a block
+    // past the survivability minimum.
+    if (info.replication < floor) {
+      Report("hdfs.repl_floor",
+             "block " + std::to_string(id) + " target " +
+                 std::to_string(info.replication) +
+                 " below the controller floor " + std::to_string(floor));
+    }
+    if (info.replication > std::max(cap, file_rep)) {
+      Report("hdfs.repl_cap",
+             "block " + std::to_string(id) + " target " +
+                 std::to_string(info.replication) +
+                 " above the controller cap " + std::to_string(cap));
+    }
+  }
+  // Every trim is guard-checked before acting; a nonzero count means a
+  // removal path reached the guards in a state they had to veto.
+  if (ctl.unsafe_trims() != 0) {
+    Report("hdfs.repl_safe_trim",
+           "controller counted " + std::to_string(ctl.unsafe_trims()) +
+               " vetoed unsafe trims");
   }
 }
 

@@ -33,6 +33,7 @@ class Grid;
 }
 namespace hogsim::hdfs {
 class Namenode;
+class ReplController;
 }
 namespace hogsim::mr {
 class JobTracker;
@@ -74,6 +75,13 @@ class Auditor {
   Auditor(const Auditor&) = delete;
   Auditor& operator=(const Auditor&) = delete;
 
+  /// Attaches the adaptive replication controller (may be null — the
+  /// repl-floor invariants are then skipped). Requires a non-null
+  /// namenode to have any effect.
+  void set_repl_controller(const hdfs::ReplController* repl) {
+    repl_ = repl;
+  }
+
   /// Arms the periodic tick (no-op when options.period == 0).
   void Start();
   void Stop();
@@ -105,6 +113,7 @@ class Auditor {
   void Report(const char* invariant, std::string detail);
 
   void AuditHdfs();
+  void AuditReplController();
   void AuditMapReduce();
   void AuditGrid();
 
@@ -112,6 +121,7 @@ class Auditor {
   hdfs::Namenode* nn_;
   mr::JobTracker* jt_;
   grid::Grid* grid_;
+  const hdfs::ReplController* repl_ = nullptr;
   Options options_;
   Instruments ins_;
   sim::PeriodicTimer timer_;

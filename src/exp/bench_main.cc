@@ -18,7 +18,7 @@ namespace {
       status == 0 ? stdout : stderr,
       "usage: %s [--seeds=LIST|COUNT] [--threads=N] [--out=PATH] [--fast]\n"
       "          [--metrics-out=PATH] [--trace-out=PATH] [--scenario=PATH]\n"
-      "          [--audit] [--scheduler=NAME[:PARAMS]]\n"
+      "          [--audit] [--scheduler=NAME[:PARAMS]] [--repl-target=A]\n"
       "  --seeds=11,23,47  explicit seed list\n"
       "  --seeds=5         first 5 seeds of the default progression\n"
       "  --threads=N       sweep pool width (0 = hardware concurrency)\n"
@@ -35,7 +35,11 @@ namespace {
       "  --scheduler=NAME    scheduling policy (fifo, fair, capacity,\n"
       "                      atlas; optional :params) for benches that run\n"
       "                      a MapReduce cluster; bench_sched uses it to\n"
-      "                      restrict its policy head-to-head\n",
+      "                      restrict its policy head-to-head\n"
+      "  --repl-target=A     availability target in (0, 1) for the\n"
+      "                      adaptive replication controller (e.g. 0.999);\n"
+      "                      0 keeps the flat paper RF. bench_repl adds it\n"
+      "                      as an extra adaptive ladder rung\n",
       prog);
   std::exit(status);
 }
@@ -147,6 +151,19 @@ BenchOptions ParseBenchOptions(int argc, char* const* argv,
     if (eat("--scheduler=", value)) {
       if (value.empty()) Usage(prog, 2);
       opts.scheduler = std::string(value);
+      continue;
+    }
+    if (eat("--repl-target=", value)) {
+      char* end = nullptr;
+      const std::string text(value);
+      const double target = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || !(target >= 0) || target >= 1) {
+        std::fprintf(stderr,
+                     "%s: bad --repl-target value '%s' (want 0 <= A < 1)\n",
+                     prog, text.c_str());
+        Usage(prog, 2);
+      }
+      opts.repl_target = target;
       continue;
     }
     std::fprintf(stderr, "%s: unknown argument '%s'\n", prog,

@@ -67,6 +67,11 @@ struct BenchOptions {
   /// --scheduler="capacity:queues=prod:0.7:1;adhoc:0.3:1". bench_sched
   /// instead treats it as a filter over its policy head-to-head.
   std::string scheduler;
+  /// Availability target in (0, 1) for the adaptive replication
+  /// controller (--repl-target=0.999). 0 = flat RF (the bench's default).
+  /// bench_repl instead runs its own fixed-vs-adaptive ladder and treats
+  /// a non-zero value as an extra adaptive config.
+  double repl_target = 0;
 };
 
 /// The per-run output path for --metrics-out/--trace-out: `base` verbatim

@@ -16,6 +16,9 @@ HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
                             const fault::Scenario* scenario,
                             HogRunOptions options) {
   HogRunResult result;
+  if (options.repl_target > 0) {
+    config.repl.availability_target = options.repl_target;
+  }
   hog::HogCluster cluster(seed, std::move(config));
 
   // The auditor outlives everything below it and dies before the cluster.
@@ -27,6 +30,9 @@ HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
     auditor = std::make_unique<check::Auditor>(
         cluster.sim(), &cluster.namenode(), &cluster.jobtracker(),
         &cluster.grid(), aopts);
+    // With the adaptive controller armed, the repl-floor invariants ride
+    // along (no-op when repl_controller() is null).
+    auditor->set_repl_controller(cluster.repl_controller());
     auditor->Start();
   }
 
@@ -106,6 +112,17 @@ HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
         ++result.outputs_lost;
       }
     }
+  }
+
+  // Storage accounting over the settled cluster: one pass each, so the
+  // bytes-stored vs availability tradeoff is measurable in every bench.
+  result.bytes_stored = cluster.namenode().StoredReplicaBytes();
+  result.bytes_logical = cluster.namenode().LogicalBytes();
+  result.repair_bytes = cluster.namenode().replication_bytes();
+  if (hdfs::ReplController* ctl = cluster.repl_controller()) {
+    result.repl_targets_raised = ctl->targets_raised();
+    result.repl_targets_lowered = ctl->targets_lowered();
+    result.repl_excess_removed = ctl->excess_removed();
   }
 
   if (auditor != nullptr) {

@@ -46,6 +46,20 @@ struct HogRunResult {
   /// replicas at end of run ("the workload said done but the data is
   /// gone") — the soak harness asserts this stays 0.
   std::uint64_t outputs_lost = 0;
+
+  // End-of-run storage accounting (always populated): physical replica
+  // bytes across believed-alive holders, logical committed bytes, and the
+  // WAN bytes the repair machinery moved. stored/logical is the effective
+  // replication factor — the cost axis of bench_repl.
+  Bytes bytes_stored = 0;
+  Bytes bytes_logical = 0;
+  Bytes repair_bytes = 0;
+
+  // Adaptive replication controller counters (zero when the controller is
+  // disabled, i.e. HogRunOptions.repl_target <= 0).
+  std::uint64_t repl_targets_raised = 0;
+  std::uint64_t repl_targets_lowered = 0;
+  std::uint64_t repl_excess_removed = 0;
 };
 
 /// Optional verification extras for RunHogWorkload; the default-constructed
@@ -65,6 +79,11 @@ struct HogRunOptions {
   /// this much extra sim time passes. Fills time_to_full_replication_s,
   /// fully_replicated, and outputs_lost.
   SimDuration drain_deadline = 0;
+  /// When > 0: arm the adaptive replication controller
+  /// (src/hdfs/repl_controller.h) with this availability target — the
+  /// `--repl-target=0.999` knob. Overrides config.repl.availability_target;
+  /// the rest of config.repl (clamp, EWMA, horizon) applies as given.
+  double repl_target = 0;
 };
 
 /// Runs the full 88-job Facebook workload on a HOG deployment of

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string_view>
 
 #include "src/hdfs/datanode.h"
 #include "src/util/log.h"
@@ -176,6 +177,7 @@ void Namenode::DeclareDead(DatanodeId id) {
   HOG_LOG(kInfo, sim_.now(), "namenode")
       << entry.hostname << " declared dead; " << entry.blocks.size()
       << " replicas lost";
+  if (on_datanode_dead_) on_datanode_dead_(id);
   const std::unordered_set<BlockId> lost = std::move(entry.blocks);
   entry.blocks.clear();
   for (BlockId b : lost) {
@@ -378,6 +380,34 @@ void Namenode::RemoveReplica(BlockId block, DatanodeId dn) {
   UpdateNeeded(block);
 }
 
+void Namenode::SetBlockReplication(BlockId block, int replication) {
+  BlockInfo* info = FindBlock(block);
+  if (info == nullptr || replication <= 0) return;
+  if (info->replication == replication) return;
+  info->replication = replication;
+  // A raised target surfaces a new deficit; a lowered one may retire a
+  // queued entry. Either way the queue must reflect the new target now —
+  // the auditor cross-checks queue membership against it every tick.
+  UpdateNeeded(block);
+}
+
+Bytes Namenode::StoredReplicaBytes() const {
+  Bytes total = 0;
+  for (const BlockInfo& info : blocks_) {
+    if (!info.live || !info.committed) continue;
+    total += info.size * static_cast<Bytes>(info.holders.size());
+  }
+  return total;
+}
+
+Bytes Namenode::LogicalBytes() const {
+  Bytes total = 0;
+  for (const BlockInfo& info : blocks_) {
+    if (info.live && info.committed) total += info.size;
+  }
+  return total;
+}
+
 std::vector<DatanodeId> Namenode::BlockHolders(BlockId block) const {
   const BlockInfo* info = FindBlock(block);
   if (info == nullptr) return {};
@@ -473,14 +503,29 @@ void Namenode::UpdateNeeded(BlockId block) {
   if (!info.committed) return;
   // Replicas on decommissioning nodes do not count toward the target.
   int counted = 0;
+  std::vector<std::string_view> racks;
   for (DatanodeId dn : info.holders) {
-    if (!datanodes_[dn].decommissioning) ++counted;
+    if (datanodes_[dn].decommissioning) continue;
+    ++counted;
+    const std::string_view rack = datanodes_[dn].rack;
+    if (std::find(racks.begin(), racks.end(), rack) == racks.end()) {
+      racks.push_back(rack);
+    }
   }
   const int effective = counted + info.pending_replications;
   if (effective < info.replication && !info.holders.empty()) {
     // Priority is keyed by surviving replicas alone: a block at one live
-    // copy stays critical even while a repair is already in flight.
-    needed_.Insert(block, ReplicationQueue::LevelFor(counted, info.replication));
+    // copy stays critical even while a repair is already in flight. The
+    // deficit keys the within-level order, so a queued block that loses
+    // another replica moves ahead of its stale same-level peers.
+    // Failure-domain escalation: grid preemptions take whole slices of a
+    // site at once, so a block whose survivors huddle on too few sites
+    // is escalated past what its replica count alone would rank — else
+    // its repair starves through exactly the storm that kills it.
+    needed_.Insert(block,
+                   ReplicationQueue::LevelFor(counted, info.replication,
+                                              static_cast<int>(racks.size())),
+                   info.replication - counted);
   } else {
     needed_.Erase(block);
   }

@@ -144,8 +144,30 @@ class Namenode final : public ClusterView {
   /// on non-decommissioning nodes — safe to shut it down.
   bool DecommissionReady(DatanodeId dn) const;
 
-  /// Removes a replica (balancer move source side); space is released.
+  /// Removes a replica (balancer move source side, or the replication
+  /// controller trimming excess); space is released.
   void RemoveReplica(BlockId block, DatanodeId dn);
+
+  // ---- Per-block replication targets (setrep; the adaptive replication
+  // controller drives these, see src/hdfs/repl_controller.h) -------------
+
+  /// Retargets one block's replication factor. Raising it queues the new
+  /// deficit for namenode-directed replication on the next scan; lowering
+  /// it only relaxes the target — excess replicas are removed by the
+  /// caller (RemoveReplica), never implicitly.
+  void SetBlockReplication(BlockId block, int replication);
+
+  /// The block's current replication target (0 for unknown blocks).
+  int BlockReplication(BlockId block) const {
+    const BlockInfo* info = FindBlock(block);
+    return info != nullptr ? info->replication : 0;
+  }
+
+  /// Namenode-directed re-replications in flight for this block.
+  int BlockPendingReplications(BlockId block) const {
+    const BlockInfo* info = FindBlock(block);
+    return info != nullptr ? info->pending_replications : 0;
+  }
 
   /// Live, serving replica holders of a block (namenode view).
   std::vector<DatanodeId> BlockHolders(BlockId block) const;
@@ -164,6 +186,11 @@ class Namenode final : public ClusterView {
   std::vector<DatanodeId> WritableDatanodes(Bytes size) const override;
   const std::string& RackOf(DatanodeId id) const override;
 
+  /// True when the datanode is believed alive and its daemon can actually
+  /// serve reads (a zombie heartbeats but cannot) — the predicate the
+  /// replication monitor uses to pick transfer sources.
+  bool DatanodeServing(DatanodeId id) const { return Serving(id); }
+
   // ---- Introspection / metrics -------------------------------------------
 
   std::size_t under_replicated() const { return needed_.size(); }
@@ -177,6 +204,18 @@ class Namenode final : public ClusterView {
   Bytes replication_bytes() const { return replication_bytes_; }
   std::uint64_t datanodes_declared_dead() const { return declared_dead_; }
 
+  /// One past the highest allocated BlockId — the iteration bound for
+  /// block-map scans (ids are dense, starting at 1; deleted slots are
+  /// tombstoned and must be re-checked via BlockExists).
+  BlockId block_count() const { return next_block_; }
+
+  /// Physical bytes of committed replicas across believed-alive holders —
+  /// the storage-cost numerator of the replication benches.
+  Bytes StoredReplicaBytes() const;
+  /// Logical bytes of committed blocks (each block counted once);
+  /// StoredReplicaBytes / LogicalBytes is the effective replication factor.
+  Bytes LogicalBytes() const;
+
   net::NodeId master_node() const { return master_; }
   const HdfsConfig& config() const { return config_; }
   const BlockPlacementPolicy& policy() const { return *policy_; }
@@ -187,6 +226,14 @@ class Namenode final : public ClusterView {
   /// Fired whenever a block transitions to zero live replicas.
   void set_on_block_missing(std::function<void(BlockId)> cb) {
     on_block_missing_ = std::move(cb);
+  }
+
+  /// Fired when a datanode is declared dead (heartbeat expiry or a master
+  /// restart pruning nodes that died during the outage) — the observation
+  /// seam the replication controller's per-site hazard EWMAs feed on, same
+  /// as the ATLAS scheduler's tracker-loss hook.
+  void set_on_datanode_dead(std::function<void(DatanodeId)> cb) {
+    on_datanode_dead_ = std::move(cb);
   }
 
  private:
@@ -328,6 +375,7 @@ class Namenode final : public ClusterView {
   Bytes replication_bytes_ = 0;
   std::uint64_t declared_dead_ = 0;
   std::function<void(BlockId)> on_block_missing_;
+  std::function<void(DatanodeId)> on_datanode_dead_;
 };
 
 }  // namespace hogsim::hdfs

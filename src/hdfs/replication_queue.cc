@@ -2,30 +2,30 @@
 
 namespace hogsim::hdfs {
 
-void ReplicationQueue::Insert(BlockId block, Level level) {
-  auto [it, inserted] = level_of_.try_emplace(block, level);
+void ReplicationQueue::Insert(BlockId block, Level level, int deficit) {
+  auto [it, inserted] = where_.try_emplace(block, Where{level, deficit});
   if (!inserted) {
-    if (it->second == level) return;
-    levels_[it->second].erase(block);
-    it->second = level;
+    if (it->second.level == level && it->second.deficit == deficit) return;
+    levels_[it->second.level].erase(Entry{it->second.deficit, block});
+    it->second = Where{level, deficit};
   }
-  levels_[level].insert(block);
+  levels_[level].insert(Entry{deficit, block});
 }
 
 void ReplicationQueue::Erase(BlockId block) {
-  auto it = level_of_.find(block);
-  if (it == level_of_.end()) return;
-  levels_[it->second].erase(block);
-  level_of_.erase(it);
+  auto it = where_.find(block);
+  if (it == where_.end()) return;
+  levels_[it->second.level].erase(Entry{it->second.deficit, block});
+  where_.erase(it);
 }
 
 std::vector<BlockId> ReplicationQueue::Collect(std::size_t budget) const {
   std::vector<BlockId> out;
   out.reserve(std::min(budget, size()));
-  for (const std::set<BlockId>& level : levels_) {
-    for (BlockId b : level) {
+  for (const std::set<Entry, WorstFirst>& level : levels_) {
+    for (const Entry& e : level) {
       if (out.size() >= budget) return out;
-      out.push_back(b);
+      out.push_back(e.block);
     }
   }
   return out;

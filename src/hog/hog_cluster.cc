@@ -59,6 +59,11 @@ HogCluster::HogCluster(std::uint64_t seed, HogConfig config)
                                                rng.Fork("namenode"),
                                                config_.hdfs);
   namenode_->Start();
+  if (config_.repl.availability_target > 0) {
+    repl_controller_ =
+        std::make_unique<hdfs::ReplController>(*namenode_, config_.repl);
+    repl_controller_->Start();
+  }
   jobtracker_ = std::make_unique<mr::JobTracker>(sim_, net_, *namenode_,
                                                  master_, topology,
                                                  config_.mr);

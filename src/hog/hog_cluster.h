@@ -20,6 +20,7 @@
 #include "src/hdfs/datanode.h"
 #include "src/hdfs/dfs_client.h"
 #include "src/hdfs/namenode.h"
+#include "src/hdfs/repl_controller.h"
 #include "src/mapreduce/jobtracker.h"
 #include "src/mapreduce/tasktracker.h"
 #include "src/net/flow_network.h"
@@ -59,6 +60,13 @@ struct HogConfig {
   /// corresponding fields here at construction).
   hdfs::HdfsConfig hdfs;
   mr::MrConfig mr;
+
+  /// Adaptive replication (src/hdfs/repl_controller.h). With
+  /// repl.availability_target > 0 the cluster runs a ReplController that
+  /// right-sizes per-block RF between repl.min_replication and
+  /// repl.max_replication; `replication` above then only sets the initial
+  /// placement width. Target <= 0 (default) keeps HOG's flat RF.
+  hdfs::ReplControllerConfig repl;
 };
 
 /// Returns the five-site OSG environment the paper restricts itself to,
@@ -78,6 +86,9 @@ class HogCluster {
   hdfs::Namenode& namenode() { return *namenode_; }
   mr::JobTracker& jobtracker() { return *jobtracker_; }
   hdfs::DfsClient& dfs() { return *dfs_; }
+  /// The adaptive replication controller, or nullptr when
+  /// config.repl.availability_target <= 0 (flat-RF mode).
+  hdfs::ReplController* repl_controller() { return repl_controller_.get(); }
   const HogConfig& config() const { return config_; }
 
   /// Elastic sizing: submit/remove Condor jobs until `count` glideins are
@@ -125,6 +136,7 @@ class HogCluster {
   net::NodeId master_ = net::kInvalidNode;
   std::unique_ptr<grid::Grid> grid_;
   std::unique_ptr<hdfs::Namenode> namenode_;
+  std::unique_ptr<hdfs::ReplController> repl_controller_;
   std::unique_ptr<mr::JobTracker> jobtracker_;
   std::unique_ptr<hdfs::DfsClient> dfs_;
   std::vector<std::unique_ptr<Worker>> workers_;  // one per lease, kept alive

@@ -74,6 +74,35 @@ TEST(ReplicationQueue, CollectDrainsMostEndangeredFirst) {
   EXPECT_EQ(three, (std::vector<hdfs::BlockId>{10, 11, 20}));
 }
 
+TEST(ReplicationQueue, WorseningDeficitReordersWithinLevel) {
+  hdfs::ReplicationQueue q;
+  q.Insert(10, hdfs::ReplicationQueue::kNormal, 2);
+  q.Insert(20, hdfs::ReplicationQueue::kNormal, 2);
+  // Equal deficits tie-break by BlockId.
+  EXPECT_EQ(q.Collect(2), (std::vector<hdfs::BlockId>{10, 20}));
+  // Block 20 loses two more replicas while queued: re-inserting with the
+  // worse deficit must move it ahead of the stale same-level entry, not
+  // leave it waiting in BlockId order.
+  q.Insert(20, hdfs::ReplicationQueue::kNormal, 4);
+  EXPECT_EQ(q.deficit_of(20), 4);
+  EXPECT_EQ(q.Collect(2), (std::vector<hdfs::BlockId>{20, 10}));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(ReplicationQueue, SpreadAwareLevelEscalatesHuddledSurvivors) {
+  using Q = hdfs::ReplicationQueue;
+  // Plenty of copies, all on one site: one batch preemption from loss.
+  EXPECT_EQ(Q::LevelFor(6, 10, 1), Q::kCritical);
+  // Two sites lifts a normal-ranked block to badly endangered...
+  EXPECT_EQ(Q::LevelFor(6, 10, 2), Q::kBadly);
+  // ...but never demotes one already ranked worse.
+  EXPECT_EQ(Q::LevelFor(2, 10, 2), Q::kBadly);
+  EXPECT_EQ(Q::LevelFor(1, 10, 1), Q::kCritical);
+  // Three or more sites: the replica count alone ranks the block.
+  EXPECT_EQ(Q::LevelFor(6, 10, 3), Q::kNormal);
+  EXPECT_EQ(Q::LevelFor(5, 10, 3), Q::kBadly);
+}
+
 // ---- HDFS harness (compact copy of hdfs_test.cc's) -------------------------
 
 class HdfsHarness {
