@@ -55,13 +55,15 @@ int main(int argc, char** argv) {
   const bool fail_fast = opts.audit;
   const exp::SweepResult sweep = exp::RunBenchSweep(
       opts, spec,
-      [&scenarios, fail_fast, repl_target = opts.repl_target](
+      [&scenarios, fail_fast, repl_target = opts.repl_target,
+       topology = opts.topology](
           std::size_t config, std::uint64_t seed) -> exp::Metrics {
         exp::HogRunOptions ropts;
         ropts.audit = true;
         ropts.audit_fail_fast = fail_fast;
         ropts.drain_deadline = 2 * kHour;
         ropts.repl_target = repl_target;
+        ropts.topology = topology;
         const auto result =
             exp::RunHogWorkload(55, seed, {}, &scenarios[config], ropts);
         const int jobs =

@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
         const bool unstable = idx + 1 == seeds.size();
         exp::HogRunOptions ropts;
         ropts.repl_target = opts.repl_target;
+        ropts.topology = opts.topology;
         runs[idx] = exp::RunHogWorkload(
             55, seed, unstable ? UnstableGrid() : StableGrid(), &scenario,
             ropts);

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   ropts.audit = opts.audit;
   ropts.audit_fail_fast = true;
   ropts.repl_target = opts.repl_target;
+  ropts.topology = opts.topology;
   const exp::SweepResult sweep = exp::RunBenchSweep(
       opts, spec,
       [&scenario, &ropts](std::size_t, std::uint64_t seed) -> exp::Metrics {

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
         while (seeds[idx] != seed) ++idx;
         exp::HogRunOptions ropts;
         ropts.repl_target = opts.repl_target;
+        ropts.topology = opts.topology;
         auto run =
             idx + 1 == seeds.size()
                 ? exp::RunHogWorkload(55, seed, unstable, &scenario, ropts)

@@ -6,9 +6,10 @@
 # scenario, which also proves the examples compiled), the scheduler
 # policy-conformance harness plus the audited fast scheduler head-to-head
 # (bench_sched) diffed against BENCH_sched.json, the audited fast
-# replication ladder (bench_repl) diffed against BENCH_repl.json, and the
+# replication ladder (bench_repl) diffed against BENCH_repl.json, the
 # audited fast scale grid (bench_scale) diffed against the committed
-# BENCH_scale.json baseline via compare_bench. This is what a PR must
+# BENCH_scale.json baseline via compare_bench, and the fast topology zoo
+# (bench_topo) diffed against BENCH_topo.json. This is what a PR must
 # keep green; see ROADMAP.md ("tier-1 tests").
 #
 # Usage: scripts/check.sh [--fast]
@@ -42,6 +43,13 @@ run_preset() {
   # injector, and every layer hook execute end to end.
   "$dir/bench/bench_scenario_storm" --fast \
     --scenario=scenarios/site_storm.txt --out="$dir/BENCH_scenario_storm.json"
+  # The rack-fault grammar end to end: the same fast chaos run through the
+  # committed ToR-failure scenario on a multi-rack ToR fabric (fail-tor /
+  # partition-rack / degrade-fabric all fire against live racks).
+  "$dir/bench/bench_scenario_storm" --fast --seeds=1 \
+    --topology="tor:racks=4;oversub=4" \
+    --scenario=scenarios/tor_failure.txt \
+    --out="$dir/BENCH_scenario_tor.json"
   echo "== [$preset] chaos soak (fail-fast audits) =="
   # Random-scenario soak with the invariant auditor armed in fail-fast
   # mode: any cross-layer inconsistency chaos shakes loose aborts the run
@@ -96,6 +104,18 @@ run_preset() {
   # which is not a regression. The tolerance only pads rounding in the
   # JSON serialization — the compared rows are deterministic.
   "$dir/bench/compare_bench" BENCH_scale.json "$dir/BENCH_scale_fast.json" \
+    --tol=0.01
+  echo "== [$preset] topology zoo (fast, audited) =="
+  # Star vs the oversubscribed ToR tier on the shuffle and drain
+  # workloads, cross-layer auditor armed; the bench itself gates zero
+  # violations, zero lost outputs, and the fabric claims (tor16 strictly
+  # slower than star per seed). Rows are deterministic and host-metric
+  # free, so the next leg diffs them against the committed baseline (the
+  # full zoo's sweep rows count as missing-in-candidate).
+  "$dir/bench/bench_topo" --fast --no-host-metrics --audit \
+    --out="$dir/BENCH_topo_fast.json"
+  echo "== [$preset] compare_bench against BENCH_topo.json =="
+  "$dir/bench/compare_bench" BENCH_topo.json "$dir/BENCH_topo_fast.json" \
     --tol=0.01
   echo "== [$preset] examples present =="
   # The example binaries are part of the build graph; a missing one means

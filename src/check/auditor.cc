@@ -9,6 +9,7 @@
 #include "src/hdfs/datanode.h"
 #include "src/hdfs/namenode.h"
 #include "src/hdfs/repl_controller.h"
+#include "src/hdfs/topology.h"
 #include "src/mapreduce/jobtracker.h"
 #include "src/util/log.h"
 
@@ -133,6 +134,7 @@ void Auditor::AuditHdfs() {
     // dictates (the membership predicate of Namenode::UpdateNeeded).
     int counted = 0;
     std::vector<std::string_view> counted_racks;
+    std::vector<std::string_view> counted_sites;
     for (hdfs::DatanodeId dn : info.holders) {
       if (nn.datanodes_[dn].decommissioning) continue;
       ++counted;
@@ -140,6 +142,11 @@ void Auditor::AuditHdfs() {
       if (std::find(counted_racks.begin(), counted_racks.end(), rack) ==
           counted_racks.end()) {
         counted_racks.push_back(rack);
+      }
+      const std::string_view site = hdfs::SiteOfRack(rack);
+      if (std::find(counted_sites.begin(), counted_sites.end(), site) ==
+          counted_sites.end()) {
+        counted_sites.push_back(site);
       }
     }
     const bool should_need =
@@ -155,8 +162,11 @@ void Auditor::AuditHdfs() {
                  (should_need ? "missing from" : "stale in") +
                  " the replication queue");
     } else if (should_need) {
+      // Distinct-site AND distinct-rack escalation, in lockstep with
+      // Namenode::UpdateNeeded (racks refine sites; equal under star).
       const int want = hdfs::ReplicationQueue::LevelFor(
-          counted, info.replication, static_cast<int>(counted_racks.size()));
+          counted, info.replication, static_cast<int>(counted_sites.size()),
+          static_cast<int>(counted_racks.size()));
       if (nn.needed_.level_of(id) != want) {
         Report("hdfs.needed_level",
                "block " + std::to_string(id) + " queued at level " +

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <string_view>
 
+#include "src/net/topo/topology.h"
 #include "src/obs/obs.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
@@ -19,6 +20,7 @@ namespace {
       "usage: %s [--seeds=LIST|COUNT] [--threads=N] [--out=PATH] [--fast]\n"
       "          [--metrics-out=PATH] [--trace-out=PATH] [--scenario=PATH]\n"
       "          [--audit] [--scheduler=NAME[:PARAMS]] [--repl-target=A]\n"
+      "          [--topology=NAME[:PARAMS]]\n"
       "  --seeds=11,23,47  explicit seed list\n"
       "  --seeds=5         first 5 seeds of the default progression\n"
       "  --threads=N       sweep pool width (0 = hardware concurrency)\n"
@@ -36,6 +38,10 @@ namespace {
       "                      atlas; optional :params) for benches that run\n"
       "                      a MapReduce cluster; bench_sched uses it to\n"
       "                      restrict its policy head-to-head\n"
+      "  --topology=NAME     intra-site network topology (star, tor,\n"
+      "                      fattree, rotor; optional :key=value;... params,\n"
+      "                      e.g. tor:racks=4;oversub=8) for benches that\n"
+      "                      run a HOG cluster\n"
       "  --repl-target=A     availability target in (0, 1) for the\n"
       "                      adaptive replication controller (e.g. 0.999);\n"
       "                      0 keeps the flat paper RF. bench_repl adds it\n"
@@ -151,6 +157,18 @@ BenchOptions ParseBenchOptions(int argc, char* const* argv,
     if (eat("--scheduler=", value)) {
       if (value.empty()) Usage(prog, 2);
       opts.scheduler = std::string(value);
+      continue;
+    }
+    if (eat("--topology=", value)) {
+      if (value.empty()) Usage(prog, 2);
+      try {
+        (void)net::topo::CreateTopology(std::string(value));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: bad --topology value: %s\n", prog,
+                     e.what());
+        Usage(prog, 2);
+      }
+      opts.topology = std::string(value);
       continue;
     }
     if (eat("--repl-target=", value)) {

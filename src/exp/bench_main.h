@@ -67,6 +67,12 @@ struct BenchOptions {
   /// --scheduler="capacity:queues=prod:0.7:1;adhoc:0.3:1". bench_sched
   /// instead treats it as a filter over its policy head-to-head.
   std::string scheduler;
+  /// Intra-site network topology spec for benches that run a HOG cluster
+  /// ("" = the bench's default, star). Passed to net::topo::CreateTopology,
+  /// so "name[:key=value;...]" grammars work: --topology=tor:racks=4 or
+  /// --topology="fattree:k=4;gbps=1". Validated at parse time; an unknown
+  /// name or parameter fails the bench up front.
+  std::string topology;
   /// Availability target in (0, 1) for the adaptive replication
   /// controller (--repl-target=0.999). 0 = flat RF (the bench's default).
   /// bench_repl instead runs its own fixed-vs-adaptive ladder and treats

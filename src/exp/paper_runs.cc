@@ -19,6 +19,7 @@ HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
   if (options.repl_target > 0) {
     config.repl.availability_target = options.repl_target;
   }
+  if (!options.topology.empty()) config.net.topology = options.topology;
   hog::HogCluster cluster(seed, std::move(config));
 
   // The auditor outlives everything below it and dies before the cluster.

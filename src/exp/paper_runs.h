@@ -84,6 +84,10 @@ struct HogRunOptions {
   /// `--repl-target=0.999` knob. Overrides config.repl.availability_target;
   /// the rest of config.repl (clamp, EWMA, horizon) applies as given.
   double repl_target = 0;
+  /// When non-empty: the intra-site network topology spec
+  /// (net::topo::CreateTopology grammar, e.g. "tor:racks=4;oversub=8") —
+  /// the --topology knob. Overrides config.net.topology.
+  std::string topology;
 };
 
 /// Runs the full 88-job Facebook workload on a HOG deployment of

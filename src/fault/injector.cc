@@ -27,6 +27,9 @@ constexpr const char* kCounterNames[] = {
     "fault.fill_disks.injected",
     "fault.namenode_blackout.injected",
     "fault.jobtracker_blackout.injected",
+    "fault.fail_tor.injected",
+    "fault.partition_rack.injected",
+    "fault.degrade_fabric.injected",
 };
 constexpr std::size_t kKindCount =
     sizeof(kCounterNames) / sizeof(kCounterNames[0]);
@@ -54,8 +57,7 @@ FaultInjector::FaultInjector(sim::Simulation& sim, InjectorTargets targets,
       total_counter_(
           sim.obs().metrics().GetCounter("fault.actions.injected")) {
   static_assert(kKindCount ==
-                    static_cast<std::size_t>(ActionKind::kJobtrackerBlackout) +
-                        1,
+                    static_cast<std::size_t>(ActionKind::kDegradeFabric) + 1,
                 "counter table out of sync with ActionKind");
   kind_counters_.reserve(kKindCount);
   for (const char* name : kCounterNames) {
@@ -110,6 +112,9 @@ void FaultInjector::Apply(const Action& action) {
       break;
     case ActionKind::kDegradeUplink:
     case ActionKind::kPartition:
+    case ActionKind::kFailTor:
+    case ActionKind::kPartitionRack:
+    case ActionKind::kDegradeFabric:
       ok = ApplyNet(action);
       break;
     case ActionKind::kShrinkDisks:
@@ -187,6 +192,50 @@ bool FaultInjector::ApplyNet(const Action& action) {
                                           sim_.now(), a);
         }));
     return true;
+  }
+
+  if (action.kind == ActionKind::kFailTor ||
+      action.kind == ActionKind::kPartitionRack) {
+    // Rack faults only exist under a multi-rack net topology; sites with
+    // fewer racks than the operand simply have no such switch to fail.
+    const bool isolate = action.kind == ActionKind::kPartitionRack;
+    const auto rack = static_cast<std::uint32_t>(action.rack);
+    return ForEachSite(g, action.site, [&](std::size_t site) {
+      const net::SiteId ns = g.net_site(site);
+      if (rack >= net.RackCount(ns)) return;
+      if (isolate) {
+        net.SetRackIsolated(ns, rack, true);
+      } else {
+        net.SetRackFailed(ns, rack, true);
+      }
+      restore_events_.push_back(
+          sim_.ScheduleAfter(action.duration, [this, ns, rack, isolate] {
+            if (isolate) {
+              targets_.net->SetRackIsolated(ns, rack, false);
+            } else {
+              targets_.net->SetRackFailed(ns, rack, false);
+            }
+            sim_.obs().tracer().EmitInstant(
+                "fault", isolate ? "rack.heal" : "tor.heal", sim_.now(), ns);
+          }));
+    });
+  }
+
+  if (action.kind == ActionKind::kDegradeFabric) {
+    // ScaleFabric rescales against the topology's *nominal* link rates, so
+    // repeated degradations do not compound and factor 1 fully restores.
+    return ForEachSite(g, action.site, [&](std::size_t site) {
+      const net::SiteId ns = g.net_site(site);
+      net.SetFabricDegrade(ns, action.value);
+      if (action.duration > 0) {
+        restore_events_.push_back(
+            sim_.ScheduleAfter(action.duration, [this, ns] {
+              targets_.net->SetFabricDegrade(ns, 1.0);
+              sim_.obs().tracer().EmitInstant("fault", "fabric.restore",
+                                              sim_.now(), ns);
+            }));
+      }
+    });
   }
 
   // degrade-uplink: scale relative to the site's *configured* uplink, so

@@ -155,6 +155,15 @@ double ParseFactor(Cursor& cur, const Token& tok) {
   return value;
 }
 
+int ParseRack(Cursor& cur, const Token& tok) {
+  const double value = ParseNumber(cur, tok, "rack index");
+  if (value < 0 || value != std::floor(value) || value > 1e6) {
+    cur.Fail(tok.column, "bad rack index '" + std::string(tok.text) +
+                             "' (want a non-negative integer)");
+  }
+  return static_cast<int>(value);
+}
+
 SimDuration ParsePositiveTicks(Cursor& cur, const Token& tok,
                                std::string_view what) {
   const SimDuration d = ParseTicks(cur, tok, what);
@@ -219,6 +228,21 @@ Action ParseAction(Cursor& cur) {
     if (action.value <= 0) {
       cur.Fail(frac.column, "fill-disks fraction must be > 0");
     }
+  } else if (name.text == "fail-tor" || name.text == "partition-rack") {
+    action.kind = name.text == "fail-tor" ? ActionKind::kFailTor
+                                          : ActionKind::kPartitionRack;
+    action.site = ParseSite(cur, cur.Take("site"), /*allow_all=*/true);
+    action.rack = ParseRack(cur, cur.Take("rack"));
+    action.duration = ParsePositiveTicks(cur, cur.Take("duration"),
+                                         "duration");
+  } else if (name.text == "degrade-fabric") {
+    action.kind = ActionKind::kDegradeFabric;
+    action.site = ParseSite(cur, cur.Take("site"), /*allow_all=*/true);
+    action.value = ParseFactor(cur, cur.Take("factor"));
+    if (!cur.Done()) {
+      action.duration = ParsePositiveTicks(cur, cur.Take("duration"),
+                                           "duration");
+    }
   } else if (name.text == "namenode-blackout" ||
              name.text == "jobtracker-blackout") {
     action.kind = name.text == "namenode-blackout"
@@ -275,6 +299,9 @@ std::string_view ActionName(ActionKind kind) {
     case ActionKind::kFillDisks: return "fill-disks";
     case ActionKind::kNamenodeBlackout: return "namenode-blackout";
     case ActionKind::kJobtrackerBlackout: return "jobtracker-blackout";
+    case ActionKind::kFailTor: return "fail-tor";
+    case ActionKind::kPartitionRack: return "partition-rack";
+    case ActionKind::kDegradeFabric: return "degrade-fabric";
   }
   return "?";
 }
@@ -349,8 +376,14 @@ std::string FormatScenario(const Scenario& scenario) {
         out << ' ' << FormatSite(a.site) << ' ' << FormatTicks(a.duration);
         break;
       case ActionKind::kDegradeUplink:
+      case ActionKind::kDegradeFabric:
         out << ' ' << FormatSite(a.site) << ' ' << FormatValue(a.value);
         if (a.duration > 0) out << ' ' << FormatTicks(a.duration);
+        break;
+      case ActionKind::kFailTor:
+      case ActionKind::kPartitionRack:
+        out << ' ' << FormatSite(a.site) << ' ' << a.rack << ' '
+            << FormatTicks(a.duration);
         break;
       case ActionKind::kPartition:
         out << ' ' << a.site << ' ' << a.site_b << ' '

@@ -51,6 +51,9 @@ enum class ActionKind {
   kFillDisks,           ///< fill-disks SITE FRACTION
   kNamenodeBlackout,    ///< namenode-blackout DURATION
   kJobtrackerBlackout,  ///< jobtracker-blackout DURATION
+  kFailTor,             ///< fail-tor SITE RACK DURATION — ToR switch dies
+  kPartitionRack,       ///< partition-rack SITE RACK DURATION
+  kDegradeFabric,       ///< degrade-fabric SITE FACTOR [DURATION]
 };
 
 /// The scenario-file directive name for a kind ("preempt-site", ...).
@@ -68,6 +71,10 @@ struct Action {
   int site = kAllSites;
   /// Partition only: the second site (never kAllSites, != site).
   int site_b = kAllSites;
+  /// fail-tor / partition-rack only: rack index within the site (>= 0).
+  /// Racks exist only under multi-rack net topologies (src/net/topo); the
+  /// injector skips racks the target site does not have.
+  int rack = 0;
   /// COUNT (integral, >= 1), FRACTION (in [0,1]) or FACTOR (> 0),
   /// depending on the kind. Unused kinds leave it 0.
   double value = 0;

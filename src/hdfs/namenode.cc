@@ -504,12 +504,17 @@ void Namenode::UpdateNeeded(BlockId block) {
   // Replicas on decommissioning nodes do not count toward the target.
   int counted = 0;
   std::vector<std::string_view> racks;
+  std::vector<std::string_view> sites;
   for (DatanodeId dn : info.holders) {
     if (datanodes_[dn].decommissioning) continue;
     ++counted;
     const std::string_view rack = datanodes_[dn].rack;
     if (std::find(racks.begin(), racks.end(), rack) == racks.end()) {
       racks.push_back(rack);
+    }
+    const std::string_view site = SiteOfRack(rack);
+    if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+      sites.push_back(site);
     }
   }
   const int effective = counted + info.pending_replications;
@@ -519,11 +524,15 @@ void Namenode::UpdateNeeded(BlockId block) {
     // deficit keys the within-level order, so a queued block that loses
     // another replica moves ahead of its stale same-level peers.
     // Failure-domain escalation: grid preemptions take whole slices of a
-    // site at once, so a block whose survivors huddle on too few sites
-    // is escalated past what its replica count alone would rank — else
-    // its repair starves through exactly the storm that kills it.
+    // site at once, and a multi-rack fabric (src/net/topo) loses whole
+    // racks to one ToR, so a block whose survivors huddle on too few
+    // sites or racks is escalated past what its replica count alone
+    // would rank — else its repair starves through exactly the storm
+    // that kills it. Under star, racks == sites and this reduces to the
+    // site-only escalation bit-for-bit.
     needed_.Insert(block,
                    ReplicationQueue::LevelFor(counted, info.replication,
+                                              static_cast<int>(sites.size()),
                                               static_cast<int>(racks.size())),
                    info.replication - counted);
   } else {

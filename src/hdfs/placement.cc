@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/hdfs/topology.h"
+
 namespace hogsim::hdfs {
 namespace {
 
@@ -119,8 +121,17 @@ std::vector<DatanodeId> SiteAwarePlacement::ChooseTargets(
     Bytes size, const ClusterView& view, Rng& rng) const {
   std::vector<DatanodeId> result;
   Pool pool(view, size, exclude);
+  // Rack strings refine sites under a multi-rack topology (src/net/topo):
+  // "/fnal.gov/r3" is rack r3 of site fnal.gov. Spread is sought at both
+  // granularities — distinct sites first, then distinct racks.
   std::unordered_set<std::string> sites_used;
-  for (DatanodeId id : exclude) sites_used.insert(view.RackOf(id));
+  std::unordered_set<std::string> racks_used;
+  const auto mark = [&](DatanodeId id) {
+    const std::string& rack = view.RackOf(id);
+    sites_used.insert(std::string(SiteOfRack(rack)));
+    racks_used.insert(rack);
+  };
+  for (DatanodeId id : exclude) mark(id);
 
   // Replica 1: writer-local for map-output locality.
   {
@@ -132,20 +143,29 @@ std::vector<DatanodeId> SiteAwarePlacement::ChooseTargets(
     }
     if (first == kInvalidDatanode) return result;
     result.push_back(first);
-    sites_used.insert(view.RackOf(first));
+    mark(first);
   }
 
   // Remaining replicas: always prefer a site not covered yet, so the block
   // survives any single-site (and with replication 10, most multi-site)
-  // failures. Once every site holds a copy, fall back to any node.
+  // failures; once every site holds a copy, prefer an uncovered rack (a
+  // ToR failure takes a rack's replicas together); only then fall back to
+  // any node. Under star every rack IS a site, so the rack tier never
+  // matches — and an empty match set draws no RNG, keeping the placement
+  // byte-stream identical to the pre-topology policy.
   while (static_cast<int>(result.size()) < count) {
     DatanodeId pick = pool.TakeRandom(rng, [&](DatanodeId id) {
-      return !sites_used.contains(view.RackOf(id));
+      return !sites_used.contains(std::string(SiteOfRack(view.RackOf(id))));
     });
+    if (pick == kInvalidDatanode) {
+      pick = pool.TakeRandom(rng, [&](DatanodeId id) {
+        return !racks_used.contains(view.RackOf(id));
+      });
+    }
     if (pick == kInvalidDatanode) pick = pool.TakeRandom(rng);
     if (pick == kInvalidDatanode) break;
     result.push_back(pick);
-    sites_used.insert(view.RackOf(pick));
+    mark(pick);
   }
   return result;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/hdfs/namenode.h"
+#include "src/hdfs/topology.h"
 #include "src/util/log.h"
 
 namespace hogsim::hdfs {
@@ -17,6 +18,15 @@ namespace {
 // belt-and-suspenders for the math).
 constexpr double kMinLossProb = 1e-6;
 constexpr double kMaxLossProb = 0.999;
+
+// Hazards are learned per SITE, not per rack: a multi-rack topology
+// (src/net/topo) refines a site's rack strings ("/fnal.gov/r3"), but grid
+// preemption is a site-batch phenomenon, so observations from all of a
+// site's racks pool into one estimator. Under star the rack string IS the
+// site and this is the identity.
+std::string SiteKey(const std::string& rack) {
+  return std::string(SiteOfRack(rack));
+}
 
 }  // namespace
 
@@ -59,7 +69,7 @@ int ReplController::TargetRf(std::vector<double> holder_q, double spare_q,
 }
 
 double ReplController::SiteHazardPerHour(const std::string& rack) const {
-  auto it = sites_.find(rack);
+  auto it = sites_.find(SiteKey(rack));
   return it == sites_.end() ? config_.prior_hazard_per_hour
                             : it->second.hazard_per_hour;
 }
@@ -71,7 +81,7 @@ double ReplController::SiteLossProb(const std::string& rack) const {
 }
 
 void ReplController::ObserveDeath(DatanodeId id) {
-  const std::string& rack = nn_.datanode(id).rack;
+  const std::string rack = SiteKey(nn_.datanode(id).rack);
   auto [it, inserted] = sites_.try_emplace(
       rack, SiteState{config_.prior_hazard_per_hour, 0, 0, 0, 0});
   ++it->second.deaths_since_tick;
@@ -94,7 +104,7 @@ void ReplController::FoldHazards() {
   std::map<std::string, int> live;
   for (DatanodeId id = 0; id < nn_.datanode_count(); ++id) {
     const auto& entry = nn_.datanode(id);
-    if (entry.alive) ++live[entry.rack];
+    if (entry.alive) ++live[SiteKey(entry.rack)];
   }
   for (const auto& [rack, count] : live) {
     sites_.try_emplace(rack,
@@ -132,7 +142,7 @@ double ReplController::MeanLossProb() const {
   std::map<std::string, int> live;
   for (DatanodeId id = 0; id < nn_.datanode_count(); ++id) {
     const auto& entry = nn_.datanode(id);
-    if (entry.alive) ++live[entry.rack];
+    if (entry.alive) ++live[SiteKey(entry.rack)];
   }
   for (const auto& [rack, count] : live) {
     weighted += count * SiteLossProb(rack);
@@ -146,7 +156,7 @@ int ReplController::AliveSites() const {
   std::map<std::string, int> live;
   for (DatanodeId id = 0; id < nn_.datanode_count(); ++id) {
     const auto& entry = nn_.datanode(id);
-    if (entry.alive) ++live[entry.rack];
+    if (entry.alive) ++live[SiteKey(entry.rack)];
   }
   return static_cast<int>(live.size());
 }
@@ -212,7 +222,7 @@ void ReplController::AdjustBlock(BlockId block, double spare_q,
     // the resulting repair lands on a fresh site (placement excludes
     // holders and maximizes diversity): clumping heals itself.
     const double q = SiteLossProb(entry.rack);
-    const int prior_copies = per_site[entry.rack]++;
+    const int prior_copies = per_site[SiteKey(entry.rack)]++;
     holder_q.push_back(prior_copies == 0
                            ? q
                            : config_.site_correlation +
@@ -285,7 +295,7 @@ void ReplController::AdjustBlock(BlockId block, double spare_q,
     int victim_copies = 0;
     double victim_hazard = -1;
     for (DatanodeId dn : counted) {
-      const std::string& rack = nn_.datanode(dn).rack;
+      const std::string rack = SiteKey(nn_.datanode(dn).rack);
       const int copies = per_site[rack];
       if (copies == 1 && sites_now <= spread_floor) continue;
       const double hazard = SiteHazardPerHour(rack);
@@ -308,7 +318,7 @@ void ReplController::AdjustBlock(BlockId block, double spare_q,
       if (victim != kInvalidDatanode) ++unsafe_trims_;
       break;
     }
-    const std::string victim_rack = nn_.datanode(victim).rack;
+    const std::string victim_rack = SiteKey(nn_.datanode(victim).rack);
     if (--per_site[victim_rack] == 0) --sites_now;
     std::erase(counted, victim);
     const Bytes size = nn_.BlockSize(block);

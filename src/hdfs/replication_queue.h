@@ -63,6 +63,21 @@ class ReplicationQueue {
     return level;
   }
 
+  /// Rack-aware overload for multi-rack topologies (src/net/topo): `racks`
+  /// is the number of distinct racks the counted replicas span. Racks
+  /// escalate exactly the way sites do one tier down — one rack is one
+  /// ToR failure from unreachability, two racks at most half a fabric —
+  /// and since a rack never spans sites, racks >= sites always holds, so
+  /// under the star topology (racks == sites) this degenerates to the
+  /// site overload bit-for-bit.
+  static Level LevelFor(int live, int replication, int sites, int racks) {
+    const Level level = LevelFor(live, replication, sites);
+    if (live <= 1) return level;
+    if (racks <= 1) return kCritical;
+    if (racks == 2 && level == kNormal) return kBadly;
+    return level;
+  }
+
   /// Inserts `block` at `level` with the given replica `deficit`, moving
   /// it if it was queued at another level or with another deficit (a block
   /// whose deficit worsens reorders ahead of its same-level peers).

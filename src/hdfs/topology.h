@@ -37,4 +37,15 @@ inline TopologyScript SiteAwarenessScript() {
   };
 }
 
+/// Site component of a rack string: the first path component. Under the
+/// star topology a rack string IS the site ("/fnal.gov"); multi-rack
+/// topologies append a rack suffix ("/fnal.gov/r3") that this strips.
+/// Rack strings refine sites, never cross them — the inverse contract of
+/// the rack-suffixing script in HogCluster.
+inline std::string_view SiteOfRack(std::string_view rack) {
+  if (rack.size() <= 1) return rack;
+  const std::size_t slash = rack.find('/', 1);
+  return slash == std::string_view::npos ? rack : rack.substr(0, slash);
+}
+
 }  // namespace hogsim::hdfs

@@ -49,9 +49,24 @@ HogCluster::HogCluster(std::uint64_t seed, HogConfig config)
                                        rng.Fork("grid"), config_.grid);
   for (const grid::SiteConfig& site : config_.sites) grid_->AddSite(site);
 
-  const hdfs::TopologyScript topology = config_.site_awareness
-                                            ? hdfs::SiteAwarenessScript()
-                                            : hdfs::FlatTopology();
+  hdfs::TopologyScript topology = config_.site_awareness
+                                      ? hdfs::SiteAwarenessScript()
+                                      : hdfs::FlatTopology();
+  if (net_.MultiRack()) {
+    // A multi-rack fabric (src/net/topo tor/fattree/rotor) refines the
+    // site string with the node's physical rack index, making racks a
+    // first-class HDFS failure domain: placement spreads across them,
+    // LevelFor escalates on them, and SiteOfRack() recovers the site.
+    // Single-rack topologies (star, tor:racks=1) keep the exact
+    // pre-topology strings, which pins the placement byte-stream.
+    topology = [this, base = std::move(topology)](std::string_view hostname) {
+      std::string rack = base(hostname);
+      const auto it = net_node_by_host_.find(std::string(hostname));
+      if (it == net_node_by_host_.end()) return rack;
+      if (net_.RackCount(net_.site_of(it->second)) <= 1) return rack;
+      return rack + "/r" + std::to_string(net_.RackOf(it->second));
+    };
+  }
   auto placement = config_.site_awareness ? hdfs::MakeSiteAwarePlacement()
                                           : hdfs::MakeDefaultPlacement();
   namenode_ = std::make_unique<hdfs::Namenode>(sim_, net_, master_, topology,
@@ -82,7 +97,10 @@ HogCluster::~HogCluster() = default;
 void HogCluster::OnNodeStart(grid::GridNode& node) {
   // The wrapper's final step: start the Hadoop daemons (datanode +
   // tasktracker) in the glidein's working directory, in the wrapper's own
-  // process tree (the fixed, non-double-forking launch).
+  // process tree (the fixed, non-double-forking launch). The hostname map
+  // must be current before the daemons register: the rack-suffixing
+  // topology script resolves through it.
+  net_node_by_host_[node.hostname()] = node.net_node();
   auto worker = std::make_unique<Worker>();
   worker->datanode = std::make_unique<hdfs::Datanode>(
       sim_, net_, *namenode_, node.hostname(), node.net_node(), node.disk());

@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/grid/grid.h"
@@ -140,6 +141,9 @@ class HogCluster {
   std::unique_ptr<mr::JobTracker> jobtracker_;
   std::unique_ptr<hdfs::DfsClient> dfs_;
   std::vector<std::unique_ptr<Worker>> workers_;  // one per lease, kept alive
+  // hostname -> network node, filled as glideins start: the rack-suffixing
+  // topology script (multi-rack net topologies) resolves through it.
+  std::unordered_map<std::string, net::NodeId> net_node_by_host_;
   sim::PeriodicTimer trace_timer_;
   StepSeries reported_nodes_;
   StepSeries actual_nodes_;

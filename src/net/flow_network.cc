@@ -13,24 +13,54 @@ constexpr Rate kLoopbackRate = 4.0 * 1024 * 1024 * 1024;
 }  // namespace
 
 FlowNetwork::FlowNetwork(sim::Simulation& sim, FlowNetworkConfig config)
-    : sim_(sim), config_(config) {}
+    : sim_(sim),
+      config_(std::move(config)),
+      topo_(topo::CreateTopology(config_.topology)),
+      topo_trivial_(topo_->trivial()),
+      slice_period_(topo_->SlicePeriod()) {
+  if (!topo_trivial_) {
+    ins_ = std::make_unique<TopoInstruments>(sim_.obs().metrics());
+  }
+}
 
-FlowNetwork::LinkId FlowNetwork::AddLink(Rate capacity) {
+LinkId FlowNetwork::AddLink(Rate capacity) {
   assert(capacity > 0);
   links_.push_back(Link{capacity, {}});
   return static_cast<LinkId>(links_.size() - 1);
 }
 
+LinkId FlowNetwork::NewFabricLink(Rate capacity) {
+  const LinkId id = AddLink(capacity);
+  if (ins_) ins_->fabric_links.Add(1.0);
+  return id;
+}
+
+void FlowNetwork::SetFabricLinkCapacity(LinkId link, Rate capacity) {
+  assert(link < links_.size());
+  assert(capacity > 0);
+  links_[link].capacity = capacity;
+}
+
 SiteId FlowNetwork::AddSite(Rate uplink) {
   sites_.push_back(Site{AddLink(uplink), AddLink(uplink)});
-  return static_cast<SiteId>(sites_.size() - 1);
+  const SiteId id = static_cast<SiteId>(sites_.size() - 1);
+  if (!topo_trivial_) topo_->AddSite(id, *this);
+  return id;
 }
 
 NodeId FlowNetwork::AddNode(SiteId site, Rate nic) {
   assert(site < sites_.size());
   nodes_.push_back(Node{site, AddLink(nic), AddLink(nic)});
   flows_by_node_.emplace_back();
-  return static_cast<NodeId>(nodes_.size() - 1);
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  if (!topo_trivial_) {
+    // A growing rack resizes its fabric links (e.g. a ToR uplink tracks
+    // sum(member NICs) / oversub); flows already crossing them re-share.
+    std::vector<LinkId> resized;
+    topo_->AddNode(site, id, nic, *this, &resized);
+    if (!resized.empty()) Reallocate(resized);
+  }
+  return id;
 }
 
 SimDuration FlowNetwork::Latency(NodeId a, NodeId b) const {
@@ -81,10 +111,26 @@ void FlowNetwork::Activate(FlowId id) {
   flow.path = {s.tx, d.rx};
   if (s.site != d.site) {
     flow.cross_site = true;
+    if (!topo_trivial_) {
+      // Cross-site flows pay the fabric on both ends (climb to the WAN
+      // gateway, descend from it) in addition to the WAN uplinks.
+      topo_->UplinkPath(flow.src, id, &flow.path);
+      topo_->DownlinkPath(flow.dst, id, &flow.path);
+    }
     flow.path.push_back(sites_[s.site].wan_tx);
     flow.path.push_back(sites_[d.site].wan_rx);
+  } else if (!topo_trivial_) {
+    topo_->IntraSitePath(flow.src, flow.dst, id, sim_.now(), &flow.path);
+    if (slice_period_ > 0 && topo_->PathSliceDependent(flow.src, flow.dst)) {
+      slice_flows_.insert(id);
+      ArmSliceTimer();
+    }
   }
   for (LinkId l : flow.path) links_[l].flows.insert(id);
+  if (ins_) {
+    ins_->ecmp_imbalance.Set(topo_->EcmpImbalance(
+        [this](LinkId l) { return links_[l].flows.size(); }));
+  }
   Reallocate(flow.path);
 }
 
@@ -98,8 +144,28 @@ void FlowNetwork::AdvanceFlow(Flow& flow) {
   flow.last_update = now;
 }
 
+bool FlowNetwork::FlowBlocked(const Flow& flow) const {
+  if (!partitions_.empty() && FlowPartitioned(flow)) return true;
+  if (topo_trivial_) return false;
+  if (!dead_racks_.empty() && (dead_racks_.count(NodeRackKey(flow.src)) > 0 ||
+                               dead_racks_.count(NodeRackKey(flow.dst)) > 0)) {
+    return true;
+  }
+  if (!isolated_racks_.empty()) {
+    // An isolated rack keeps its intra-rack traffic; anything crossing the
+    // rack boundary (including to a *different* isolated rack) stalls.
+    const std::uint64_t a = NodeRackKey(flow.src);
+    const std::uint64_t b = NodeRackKey(flow.dst);
+    if (a != b &&
+        (isolated_racks_.count(a) > 0 || isolated_racks_.count(b) > 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Rate FlowNetwork::EvenShareRate(const Flow& flow) const {
-  if (!partitions_.empty() && FlowPartitioned(flow)) return 0.0;
+  if (FlowBlocked(flow)) return 0.0;
   Rate rate = kLoopbackRate;
   for (LinkId l : flow.path) {
     const auto n = links_[l].flows.size();
@@ -183,7 +249,9 @@ std::vector<Rate> FlowNetwork::SolveComponentRates(
   // component alone or as part of a larger dirty union yields
   // bitwise-identical rates (ties between links break toward the lowest
   // link id, and interleaved rounds from a disjoint sub-component never
-  // touch this one's link state).
+  // touch this one's link state). Paths are arbitrary-length link vectors
+  // (a topology fabric adds per-hop links); nothing here assumes the
+  // two/four-link star shape.
   struct LinkState {
     double remaining;
     std::size_t unfixed;
@@ -211,9 +279,9 @@ std::vector<Rate> FlowNetwork::SolveComponentRates(
     for (LinkId l : flow.path) {
       flows_on[link_index(l)].push_back(static_cast<std::uint32_t>(i));
     }
-    if (!partitions_.empty() && FlowPartitioned(flow)) {
-      // Severed: pinned at zero and withdrawn from every link it crosses
-      // so it neither claims nor blocks a share.
+    if (FlowBlocked(flow)) {
+      // Severed or rack-faulted: pinned at zero and withdrawn from every
+      // link it crosses so it neither claims nor blocks a share.
       fixed[i] = 1;
       for (LinkId l : flow.path) {
         LinkState& s = state[link_index(l)];
@@ -321,6 +389,7 @@ void FlowNetwork::FinishFlow(FlowId id, bool ok) {
   RemoveFromLinks(flow, id);
   flows_by_node_[flow.src].erase(id);
   flows_by_node_[flow.dst].erase(id);
+  if (slice_period_ > 0) slice_flows_.erase(id);
   FlowCallback done = std::move(flow.done);
   flows_.erase(it);
   Reallocate(path);
@@ -336,6 +405,7 @@ void FlowNetwork::CancelFlow(FlowId id) {
   RemoveFromLinks(flow, id);
   flows_by_node_[flow.src].erase(id);
   flows_by_node_[flow.dst].erase(id);
+  if (slice_period_ > 0) slice_flows_.erase(id);
   flows_.erase(it);
   Reallocate(path);
 }
@@ -352,6 +422,10 @@ void FlowNetwork::SetSiteUplink(SiteId site, Rate uplink) {
   assert(uplink > 0);
   links_[sites_[site].wan_tx].capacity = uplink;
   links_[sites_[site].wan_rx].capacity = uplink;
+  // The WAN links are the only capacities that moved, so they alone seed
+  // the dirty set; under a multi-level topology GatherComponent reaches
+  // any fabric links through the crossing flows' own paths. Untouched
+  // components keep their completion events.
   Reallocate({sites_[site].wan_tx, sites_[site].wan_rx});
 }
 
@@ -361,11 +435,110 @@ void FlowNetwork::SetSitePartition(SiteId a, SiteId b, bool severed) {
   const bool changed =
       severed ? partitions_.insert(key).second : partitions_.erase(key) > 0;
   if (!changed) return;
-  // Every flow between the pair crosses both sites' WAN links, so touching
-  // those four links re-rates exactly the affected flows (severed flows
-  // starve via EvenShareRate() == 0; healed flows get completions back).
+  // Every flow between the pair crosses both sites' WAN links regardless
+  // of topology (fabric hops are additions to the path, never a
+  // replacement for the uplinks), so touching those four links re-dirties
+  // exactly the affected component on sever AND on heal (severed flows
+  // starve via FlowBlocked(); healed flows get completions back).
+  // Disjoint components — including fabric-only intra-site traffic —
+  // never lose their scheduled completion events.
   Reallocate({sites_[a].wan_tx, sites_[a].wan_rx, sites_[b].wan_tx,
               sites_[b].wan_rx});
+}
+
+void FlowNetwork::SetRackFailed(SiteId site, std::uint32_t rack,
+                                bool failed) {
+  if (topo_trivial_ || rack >= topo_->RackCount(site)) return;
+  const std::uint64_t key = RackKey(site, rack);
+  const bool changed =
+      failed ? dead_racks_.insert(key).second : dead_racks_.erase(key) > 0;
+  if (!changed) return;
+  ReallocateRack(site, rack, /*count_stalled=*/failed);
+}
+
+void FlowNetwork::SetRackIsolated(SiteId site, std::uint32_t rack,
+                                  bool isolated) {
+  if (topo_trivial_ || rack >= topo_->RackCount(site)) return;
+  const std::uint64_t key = RackKey(site, rack);
+  const bool changed = isolated ? isolated_racks_.insert(key).second
+                                : isolated_racks_.erase(key) > 0;
+  if (!changed) return;
+  ReallocateRack(site, rack, /*count_stalled=*/isolated);
+}
+
+void FlowNetwork::ReallocateRack(SiteId site, std::uint32_t rack,
+                                 bool count_stalled) {
+  // The union of the rack's flows' paths seeds the dirty set — the same
+  // only-the-affected-component discipline as the site-partition path.
+  std::unordered_set<FlowId> seen;
+  std::vector<LinkId> touched;
+  std::uint64_t stalled = 0;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].site != site || topo_->RackOf(n) != rack) continue;
+    for (FlowId f : flows_by_node_[n]) {
+      if (!seen.insert(f).second) continue;
+      const Flow& flow = flows_.at(f);
+      if (flow.path.empty()) continue;  // latent or loopback
+      touched.insert(touched.end(), flow.path.begin(), flow.path.end());
+      if (count_stalled && flow.rate > 0.0 && FlowBlocked(flow)) ++stalled;
+    }
+  }
+  if (ins_ && stalled > 0) ins_->fabric_stalled.Add(stalled);
+  if (touched.empty()) return;
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  Reallocate(touched);
+}
+
+void FlowNetwork::SetFabricDegrade(SiteId site, double factor) {
+  if (topo_trivial_) return;  // star has no fabric
+  assert(factor > 0);
+  std::vector<LinkId> touched;
+  topo_->ScaleFabric(site, factor, *this, &touched);
+  if (!touched.empty()) Reallocate(touched);
+}
+
+void FlowNetwork::ArmSliceTimer() {
+  if (slice_timer_.pending()) return;
+  const SimTime next =
+      (sim_.now() / slice_period_ + 1) * slice_period_;
+  slice_timer_ = sim_.ScheduleAt(next, [this] { OnSliceBoundary(); });
+}
+
+void FlowNetwork::OnSliceBoundary() {
+  if (ins_) ins_->rotor_slices.Add();
+  // Lazy: with no slice-dependent flows left the timer simply lapses; the
+  // next slice-dependent activation re-arms it. An idle rotor network
+  // schedules nothing, which keeps slice advance RNG- and event-neutral
+  // for workloads that never cross racks.
+  if (slice_flows_.empty()) return;
+  std::vector<FlowId> ids(slice_flows_.begin(), slice_flows_.end());
+  std::sort(ids.begin(), ids.end());  // deterministic re-route order
+  std::vector<LinkId> touched;
+  std::uint64_t repaths = 0;
+  for (FlowId id : ids) {
+    Flow& flow = flows_.at(id);
+    std::vector<LinkId> fresh = {nodes_[flow.src].tx, nodes_[flow.dst].rx};
+    topo_->IntraSitePath(flow.src, flow.dst, id, sim_.now(), &fresh);
+    if (fresh == flow.path) continue;
+    for (LinkId l : flow.path) {
+      links_[l].flows.erase(id);
+      touched.push_back(l);
+    }
+    flow.path = std::move(fresh);
+    for (LinkId l : flow.path) {
+      links_[l].flows.insert(id);
+      touched.push_back(l);
+    }
+    ++repaths;
+  }
+  if (ins_ && repaths > 0) ins_->rotor_repaths.Add(repaths);
+  if (!touched.empty()) {
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    Reallocate(touched);
+  }
+  ArmSliceTimer();
 }
 
 Rate FlowNetwork::FlowRate(FlowId id) const {

@@ -1,11 +1,19 @@
 // Flow-level network model.
 //
-// The simulator moves data as fluid "flows" over a two-level topology that
+// The simulator moves data as fluid "flows" over a pluggable topology that
 // mirrors the paper's environment: every node has a NIC, every site has a
 // WAN uplink shared by all its nodes, and the WAN core is unconstrained.
-// Intra-site transfers traverse only the two NICs; inter-site transfers
-// additionally traverse both sites' uplinks. This captures exactly the
-// asymmetry HOG's site awareness exploits (intra-site bandwidth >> WAN).
+// A site's *internal* structure is delegated to a topo::SiteTopology
+// (src/net/topo): the default `star` adds nothing — intra-site transfers
+// traverse only the two NICs and inter-site transfers additionally
+// traverse both sites' uplinks, exactly the asymmetry HOG's site awareness
+// exploits (intra-site bandwidth >> WAN). The `tor`, `fattree`, and
+// `rotor` topologies expand each site into a fabric of extra links that a
+// flow's path also crosses, making intra-site contention (rack
+// oversubscription, ECMP collisions, rotor matchings) visible to the same
+// sharing machinery. Paths are arbitrary per-flow link vectors; the star
+// case is pinned byte-identical to the pre-topology two-level model (the
+// trivial topology skips every hook).
 //
 // Bandwidth sharing between concurrent flows is pluggable:
 //  * kEvenShare (default): each link splits its capacity evenly among the
@@ -19,36 +27,36 @@
 //    connected component, and the solver iterates links and flows in
 //    sorted order, so the incremental result is byte-identical to a fresh
 //    full solve (MaxMinOracle() recomputes it from scratch; the solver
-//    fuzz test cross-checks every churn step against it). Flows in
-//    untouched components keep their rates and their scheduled completion
-//    events — disjoint traffic is never disturbed.
+//    fuzz test cross-checks every churn step against it — on star and on
+//    the multi-level tor/fattree/rotor graphs alike). Flows in untouched
+//    components keep their rates and their scheduled completion events —
+//    disjoint traffic is never disturbed.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <limits>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/net/topo/topology.h"
+#include "src/net/types.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 #include "src/util/units.h"
 
 namespace hogsim::net {
 
-using NodeId = std::uint32_t;
-using SiteId = std::uint32_t;
-using FlowId = std::uint64_t;
-
-constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
-constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
-constexpr FlowId kInvalidFlow = 0;
-
 enum class SharingPolicy { kEvenShare, kMaxMinFair };
 
 struct FlowNetworkConfig {
   SharingPolicy sharing = SharingPolicy::kEvenShare;
+  /// Intra-site topology spec, `NAME[:key=value;...]` — see src/net/topo.
+  /// "star" is the degenerate pre-topology model (no fabric links).
+  std::string topology = "star";
   SimDuration lan_latency = 200;          // 0.2 ms
   SimDuration wan_latency = 40 * kMillisecond;
   /// Per-flow ceiling on inter-site transfers: a single 2012-era TCP
@@ -64,20 +72,32 @@ struct FlowNetworkConfig {
   double crypto_byte_overhead = 0.0;
 };
 
-class FlowNetwork {
+class FlowNetwork : private topo::Fabric {
  public:
   explicit FlowNetwork(sim::Simulation& sim, FlowNetworkConfig config = {});
 
   /// Adds a site with the given aggregate uplink capacity (applied
-  /// independently to the outbound and inbound directions).
+  /// independently to the outbound and inbound directions). The topology
+  /// mints the site's fabric links here.
   SiteId AddSite(Rate uplink);
 
-  /// Adds a node with the given NIC rate (again per direction).
+  /// Adds a node with the given NIC rate (again per direction). The
+  /// topology assigns its rack from per-site arrival order.
   NodeId AddNode(SiteId site, Rate nic);
 
   SiteId site_of(NodeId node) const { return nodes_[node].site; }
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t site_count() const { return sites_.size(); }
+
+  // ---- Topology / rack surface (src/net/topo) ----------------------------
+
+  /// Rack index of a node within its site; 0 for every node under star.
+  std::uint32_t RackOf(NodeId node) const { return topo_->RackOf(node); }
+  std::uint32_t RackCount(SiteId site) const { return topo_->RackCount(site); }
+  /// True when sites can have more than one rack (gates HDFS rack-string
+  /// suffixes so single-rack topologies keep pre-topology strings).
+  bool MultiRack() const { return !topo_trivial_ && topo_->multi_rack(); }
+  const topo::SiteTopology& topology() const { return *topo_; }
 
   /// One-way message latency between two nodes (LAN within a site, WAN
   /// across sites, zero to self). Control messages (heartbeats, RPCs) are
@@ -110,7 +130,7 @@ class FlowNetwork {
   Bytes delivered_bytes() const { return delivered_; }
 
   // ---- Fault-injection hooks (src/fault/injector.h) ----------------------
-  // Both degrade in place: existing flows re-share immediately, nothing
+  // All degrade in place: existing flows re-share immediately, nothing
   // costs the organic path more than an empty-set check.
 
   /// Rescales the site's WAN uplink (both directions) to `uplink`; active
@@ -129,6 +149,21 @@ class FlowNetwork {
     return !partitions_.empty() && partitions_.count(PartitionKey(a, b)) > 0;
   }
 
+  /// fail-tor: kills (or heals) a rack's fabric — every flow with an
+  /// endpoint in the rack stalls at rate zero, including intra-rack flows
+  /// (the dead ToR takes the rack's whole data path). No-op under star
+  /// and for out-of-range rack indices.
+  void SetRackFailed(SiteId site, std::uint32_t rack, bool failed);
+
+  /// partition-rack: isolates a rack from the rest of the fabric — flows
+  /// crossing the rack boundary stall, intra-rack flows keep running.
+  void SetRackIsolated(SiteId site, std::uint32_t rack, bool isolated);
+
+  /// degrade-fabric: scales every fabric link of the site to factor x its
+  /// nominal capacity (factor 1 restores; repeats never compound). No-op
+  /// under star, which has no fabric.
+  void SetFabricDegrade(SiteId site, double factor);
+
   const FlowNetworkConfig& config() const { return config_; }
 
   /// Fresh full max-min solve from scratch (per connected component, same
@@ -140,8 +175,6 @@ class FlowNetwork {
   std::vector<std::pair<FlowId, Rate>> MaxMinOracle() const;
 
  private:
-  using LinkId = std::uint32_t;
-
   struct Link {
     Rate capacity;
     std::unordered_set<FlowId> flows;
@@ -172,9 +205,31 @@ class FlowNetwork {
     sim::EventHandle completion;
   };
 
+  // Observability handles for the non-trivial topologies, registered only
+  // when one is configured so star runs' metric namespaces are untouched.
+  struct TopoInstruments {
+    explicit TopoInstruments(obs::MetricsRegistry& m)
+        : fabric_links(m.GetGauge("net.topo.fabric_links")),
+          fabric_stalled(m.GetCounter("net.topo.fabric_stalled_flows")),
+          rotor_slices(m.GetCounter("net.topo.rotor_slices")),
+          rotor_repaths(m.GetCounter("net.topo.rotor_repaths")),
+          ecmp_imbalance(m.GetGauge("net.topo.ecmp_imbalance")) {}
+    obs::Gauge& fabric_links;      // fabric links minted by the topology
+    obs::Counter& fabric_stalled;  // flows stalled by fail-tor/partition-rack
+    obs::Counter& rotor_slices;    // slice boundaries processed
+    obs::Counter& rotor_repaths;   // flows re-routed at slice boundaries
+    obs::Gauge& ecmp_imbalance;    // max/mean load over the ECMP core links
+  };
+
   static std::uint64_t PartitionKey(SiteId a, SiteId b) {
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  static std::uint64_t RackKey(SiteId site, std::uint32_t rack) {
+    return (static_cast<std::uint64_t>(site) << 32) | rack;
+  }
+  std::uint64_t NodeRackKey(NodeId node) const {
+    return RackKey(nodes_[node].site, topo_->RackOf(node));
   }
   /// True when the flow crosses a severed site pair. Callers guard with
   /// `!partitions_.empty()` so the no-partition path stays free.
@@ -183,6 +238,14 @@ class FlowNetwork {
            partitions_.count(
                PartitionKey(nodes_[flow.src].site, nodes_[flow.dst].site)) > 0;
   }
+  /// Pinned-at-zero check covering site partitions and rack faults. Every
+  /// clause is behind an emptiness guard, so the healthy path costs the
+  /// same as the pre-topology partition check.
+  bool FlowBlocked(const Flow& flow) const;
+
+  // topo::Fabric (the surface handed to the topology for its links).
+  LinkId NewFabricLink(Rate capacity) override;
+  void SetFabricLinkCapacity(LinkId link, Rate capacity) override;
 
   LinkId AddLink(Rate capacity);
   void Activate(FlowId id);
@@ -195,6 +258,11 @@ class FlowNetwork {
   /// Recomputes rates and completion events for the flows crossing the
   /// given links (even-share) or for all flows (max-min).
   void Reallocate(const std::vector<LinkId>& touched);
+
+  /// Re-rates every flow with an endpoint in the rack (rack fault arm /
+  /// heal): the dirty seed is the union of those flows' paths, so — like
+  /// the site-partition path — only the affected component is re-solved.
+  void ReallocateRack(SiteId site, std::uint32_t rack, bool count_stalled);
 
   Rate EvenShareRate(const Flow& flow) const;
 
@@ -221,8 +289,17 @@ class FlowNetwork {
 
   void RescheduleCompletion(FlowId id, Flow& flow);
 
+  // Rotor slice machinery: the boundary timer is armed lazily, only while
+  // slice-dependent flows exist, and re-routes exactly those flows.
+  void ArmSliceTimer();
+  void OnSliceBoundary();
+
   sim::Simulation& sim_;
   FlowNetworkConfig config_;
+  std::unique_ptr<topo::SiteTopology> topo_;
+  bool topo_trivial_;          // star: skip every topology hook
+  SimDuration slice_period_;   // 0 for static fabrics
+  std::unique_ptr<TopoInstruments> ins_;  // null under star
   std::vector<Link> links_;
   std::vector<Node> nodes_;
   std::vector<Site> sites_;
@@ -231,6 +308,10 @@ class FlowNetwork {
   // lookup on the hot StartFlow/FailFlowsAtNode paths.
   std::vector<std::unordered_set<FlowId>> flows_by_node_;
   std::unordered_set<std::uint64_t> partitions_;  // severed site pairs
+  std::unordered_set<std::uint64_t> dead_racks_;      // fail-tor
+  std::unordered_set<std::uint64_t> isolated_racks_;  // partition-rack
+  std::unordered_set<FlowId> slice_flows_;  // rotor slice-dependent flows
+  sim::EventHandle slice_timer_;
   FlowId next_flow_ = 1;
   Bytes delivered_ = 0;
 };

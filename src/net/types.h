@@ -1,0 +1,23 @@
+// Shared identifier types of the flow-level network model. Split out of
+// flow_network.h so the topology layer (src/net/topo) can speak about
+// nodes, sites, flows, and links without pulling in the full network.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hogsim::net {
+
+using NodeId = std::uint32_t;
+using SiteId = std::uint32_t;
+using FlowId = std::uint64_t;
+/// Directed capacity constraint inside FlowNetwork. Link ids are dense and
+/// assigned in creation order; the topology layer mints fabric links
+/// through the same arena as NICs and WAN uplinks.
+using LinkId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
+constexpr FlowId kInvalidFlow = 0;
+
+}  // namespace hogsim::net

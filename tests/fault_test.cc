@@ -33,6 +33,10 @@ at 80s shrink-disks all 0.5
 at 90s fill-disks 3 0.9
 at 100s namenode-blackout 45s
 every 2m until 30m jobtracker-blackout 30s
+at 110s fail-tor 0 2 90s
+at 120s partition-rack all 1 2m
+at 130s degrade-fabric 2 0.4 3m
+at 135s degrade-fabric all 0.6
 )";
 
 void ExpectSameScenario(const Scenario& a, const Scenario& b) {
@@ -47,6 +51,7 @@ void ExpectSameScenario(const Scenario& a, const Scenario& b) {
     EXPECT_EQ(x.action.kind, y.action.kind);
     EXPECT_EQ(x.action.site, y.action.site);
     EXPECT_EQ(x.action.site_b, y.action.site_b);
+    EXPECT_EQ(x.action.rack, y.action.rack);
     EXPECT_DOUBLE_EQ(x.action.value, y.action.value);
     EXPECT_EQ(x.action.duration, y.action.duration);
   }
@@ -54,7 +59,7 @@ void ExpectSameScenario(const Scenario& a, const Scenario& b) {
 
 TEST(Scenario, GoldenRoundTripEveryActionKind) {
   const Scenario parsed = ParseScenario(kAllKinds);
-  ASSERT_EQ(parsed.actions.size(), 12u);
+  ASSERT_EQ(parsed.actions.size(), 16u);
   const std::string canonical = FormatScenario(parsed);
   const Scenario again = ParseScenario(canonical);
   ExpectSameScenario(parsed, again);
@@ -86,6 +91,20 @@ TEST(Scenario, ParsesOperandsExactly) {
   EXPECT_EQ(every.period, 2 * kMinute);
   EXPECT_EQ(every.until, 30 * kMinute);
   EXPECT_EQ(every.line, 13);
+
+  // The rack-level fabric kinds.
+  EXPECT_EQ(s.actions[12].action.kind, ActionKind::kFailTor);
+  EXPECT_EQ(s.actions[12].action.site, 0);
+  EXPECT_EQ(s.actions[12].action.rack, 2);
+  EXPECT_EQ(s.actions[12].action.duration, 90 * kSecond);
+  EXPECT_EQ(s.actions[13].action.kind, ActionKind::kPartitionRack);
+  EXPECT_EQ(s.actions[13].action.site, kAllSites);
+  EXPECT_EQ(s.actions[13].action.rack, 1);
+  EXPECT_EQ(s.actions[14].action.kind, ActionKind::kDegradeFabric);
+  EXPECT_DOUBLE_EQ(s.actions[14].action.value, 0.4);
+  EXPECT_EQ(s.actions[14].action.duration, 3 * kMinute);
+  // degrade-fabric's duration is optional, like degrade-uplink's.
+  EXPECT_EQ(s.actions[15].action.duration, 0);
 }
 
 TEST(Scenario, TimeUnitsIncludingBareSeconds) {
