@@ -3,7 +3,9 @@
 //
 // Each config of the sweep is one seeded fault::RandomScenario (survivable
 // palette: partial preemptions, zombies, freezes, partitions, bounded
-// master blackouts); each run replays the Facebook workload on a 55-node
+// master blackouts, plus the gray faults — slow nodes, delayed
+// heartbeats, disk stalls); each run replays the Facebook workload on a
+// 55-node
 // HOG deployment under that scenario with a check::Auditor ticking, then
 // keeps the cluster alive until the under-replication queue drains. The
 // soak PASSES only if, across every (scenario, seed) run:
@@ -36,10 +38,15 @@ int main(int argc, char** argv) {
 
   // Scenario seeds are fixed (not tied to sweep seeds): scenario k is the
   // same chaos schedule on every machine and under --seeds overrides.
+  // The gray palette rides along (slow nodes, delayed heartbeats, disk
+  // stalls): the self-healing contract must hold when faults degrade
+  // nodes instead of killing them.
+  fault::RandomScenarioOptions chaos_opts;
+  chaos_opts.gray = true;
   std::vector<fault::Scenario> scenarios;
   std::vector<std::string> labels;
   for (std::size_t k = 0; k < scenario_count; ++k) {
-    scenarios.push_back(fault::RandomScenario(1000 + k));
+    scenarios.push_back(fault::RandomScenario(1000 + k, chaos_opts));
     labels.push_back("chaos" + std::to_string(k));
   }
 

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   exp::HogRunOptions ropts;
   ropts.repl_target = opts.repl_target;
   ropts.topology = opts.topology;
+  ropts.detector = opts.detector;
   const exp::SweepResult sweep = exp::RunBenchSweep(
       opts, spec,
       [&points, &scenario, &ropts](std::size_t config,

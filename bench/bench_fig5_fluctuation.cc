@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
         exp::HogRunOptions ropts;
         ropts.repl_target = opts.repl_target;
         ropts.topology = opts.topology;
+        ropts.detector = opts.detector;
         runs[idx] = exp::RunHogWorkload(
             55, seed, unstable ? UnstableGrid() : StableGrid(), &scenario,
             ropts);

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   ropts.audit_fail_fast = true;
   ropts.repl_target = opts.repl_target;
   ropts.topology = opts.topology;
+  ropts.detector = opts.detector;
   const exp::SweepResult sweep = exp::RunBenchSweep(
       opts, spec,
       [&scenario, &ropts](std::size_t, std::uint64_t seed) -> exp::Metrics {

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
         exp::HogRunOptions ropts;
         ropts.repl_target = opts.repl_target;
         ropts.topology = opts.topology;
+        ropts.detector = opts.detector;
         auto run =
             idx + 1 == seeds.size()
                 ? exp::RunHogWorkload(55, seed, unstable, &scenario, ropts)

@@ -8,9 +8,11 @@
 # (bench_sched) diffed against BENCH_sched.json, the audited fast
 # replication ladder (bench_repl) diffed against BENCH_repl.json, the
 # audited fast scale grid (bench_scale) diffed against the committed
-# BENCH_scale.json baseline via compare_bench, and the fast topology zoo
-# (bench_topo) diffed against BENCH_topo.json. This is what a PR must
-# keep green; see ROADMAP.md ("tier-1 tests").
+# BENCH_scale.json baseline via compare_bench, the fast topology zoo
+# (bench_topo) diffed against BENCH_topo.json, and the fast gray-failure
+# frontier + quarantine storm (bench_gray) diffed against
+# BENCH_gray.json. This is what a PR must keep green; see ROADMAP.md
+# ("tier-1 tests").
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   default preset only (skip the sanitizer build)
@@ -50,6 +52,15 @@ run_preset() {
     --topology="tor:racks=4;oversub=4" \
     --scenario=scenarios/tor_failure.txt \
     --out="$dir/BENCH_scenario_tor.json"
+  # The gray-fault grammar end to end: heartbeat jitter + a stalled disk
+  # (nothing dies, the masters must not over-react), then the slow-node
+  # storm palette (slow-node / slow-site with restores).
+  "$dir/bench/bench_scenario_storm" --fast --seeds=1 \
+    --scenario=scenarios/heartbeat_jitter.txt \
+    --out="$dir/BENCH_scenario_jitter.json"
+  "$dir/bench/bench_scenario_storm" --fast --seeds=1 \
+    --scenario=scenarios/slow_node_storm.txt \
+    --out="$dir/BENCH_scenario_slow.json"
   echo "== [$preset] chaos soak (fail-fast audits) =="
   # Random-scenario soak with the invariant auditor armed in fail-fast
   # mode: any cross-layer inconsistency chaos shakes loose aborts the run
@@ -116,6 +127,18 @@ run_preset() {
     --out="$dir/BENCH_topo_fast.json"
   echo "== [$preset] compare_bench against BENCH_topo.json =="
   "$dir/bench/compare_bench" BENCH_topo.json "$dir/BENCH_topo_fast.json" \
+    --tol=0.01
+  echo "== [$preset] gray-failure frontier + quarantine storm (fast) =="
+  # The detector frontier under the noisy jitter palette plus both storm
+  # rows; the bench itself gates phi's frontier position (zero false
+  # suspicions, not dominated by any fixed deadline, strictly dominating
+  # at least one) and the quarantine goodput win. Rows are deterministic,
+  # so the next leg diffs them against the committed baseline (the full
+  # run's calm-palette rows count as missing-in-candidate).
+  "$dir/bench/bench_gray" --fast \
+    --out="$dir/BENCH_gray_fast.json"
+  echo "== [$preset] compare_bench against BENCH_gray.json =="
+  "$dir/bench/compare_bench" BENCH_gray.json "$dir/BENCH_gray_fast.json" \
     --tol=0.01
   echo "== [$preset] examples present =="
   # The example binaries are part of the build graph; a missing one means

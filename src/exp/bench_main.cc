@@ -5,6 +5,7 @@
 #include <fstream>
 #include <string_view>
 
+#include "src/health/detector.h"
 #include "src/net/topo/topology.h"
 #include "src/obs/obs.h"
 #include "src/util/log.h"
@@ -20,7 +21,7 @@ namespace {
       "usage: %s [--seeds=LIST|COUNT] [--threads=N] [--out=PATH] [--fast]\n"
       "          [--metrics-out=PATH] [--trace-out=PATH] [--scenario=PATH]\n"
       "          [--audit] [--scheduler=NAME[:PARAMS]] [--repl-target=A]\n"
-      "          [--topology=NAME[:PARAMS]]\n"
+      "          [--topology=NAME[:PARAMS]] [--detector=NAME[:PARAMS]]\n"
       "  --seeds=11,23,47  explicit seed list\n"
       "  --seeds=5         first 5 seeds of the default progression\n"
       "  --threads=N       sweep pool width (0 = hardware concurrency)\n"
@@ -45,7 +46,12 @@ namespace {
       "  --repl-target=A     availability target in (0, 1) for the\n"
       "                      adaptive replication controller (e.g. 0.999);\n"
       "                      0 keeps the flat paper RF. bench_repl adds it\n"
-      "                      as an extra adaptive ladder rung\n",
+      "                      as an extra adaptive ladder rung\n"
+      "  --detector=NAME     heartbeat failure detector (deadline, phi;\n"
+      "                      optional :key=value;... params, e.g.\n"
+      "                      phi:threshold=8;window=64) for both masters'\n"
+      "                      expiry checks in benches that run a HOG\n"
+      "                      cluster; bench_gray runs its own head-to-head\n",
       prog);
   std::exit(status);
 }
@@ -169,6 +175,18 @@ BenchOptions ParseBenchOptions(int argc, char* const* argv,
         Usage(prog, 2);
       }
       opts.topology = std::string(value);
+      continue;
+    }
+    if (eat("--detector=", value)) {
+      if (value.empty()) Usage(prog, 2);
+      try {
+        (void)health::CreateDetector(std::string(value), kMinute);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: bad --detector value: %s\n", prog,
+                     e.what());
+        Usage(prog, 2);
+      }
+      opts.detector = std::string(value);
       continue;
     }
     if (eat("--repl-target=", value)) {

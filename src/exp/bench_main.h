@@ -78,6 +78,13 @@ struct BenchOptions {
   /// bench_repl instead runs its own fixed-vs-adaptive ladder and treats
   /// a non-zero value as an extra adaptive config.
   double repl_target = 0;
+  /// Failure-detector spec for both masters' heartbeat expiry
+  /// ("" = the bench's default, the fixed-recheck deadline detector).
+  /// Passed to health::CreateDetector, so "name[:key=value;...]" grammars
+  /// work: --detector=deadline or --detector="phi:threshold=8;window=64".
+  /// Validated at parse time. bench_gray instead runs its own detector
+  /// head-to-head and ignores this flag.
+  std::string detector;
 };
 
 /// The per-run output path for --metrics-out/--trace-out: `base` verbatim

@@ -20,6 +20,7 @@ HogRunResult RunHogWorkload(int max_nodes, std::uint64_t seed,
     config.repl.availability_target = options.repl_target;
   }
   if (!options.topology.empty()) config.net.topology = options.topology;
+  if (!options.detector.empty()) config.detector = options.detector;
   hog::HogCluster cluster(seed, std::move(config));
 
   // The auditor outlives everything below it and dies before the cluster.

@@ -88,6 +88,10 @@ struct HogRunOptions {
   /// (net::topo::CreateTopology grammar, e.g. "tor:racks=4;oversub=8") —
   /// the --topology knob. Overrides config.net.topology.
   std::string topology;
+  /// When non-empty: the failure-detector spec for both masters
+  /// (health::CreateDetector grammar, e.g. "phi:threshold=8") — the
+  /// --detector knob. Overrides config.detector.
+  std::string detector;
 };
 
 /// Runs the full 88-job Facebook workload on a HOG deployment of

@@ -30,6 +30,10 @@ constexpr const char* kCounterNames[] = {
     "fault.fail_tor.injected",
     "fault.partition_rack.injected",
     "fault.degrade_fabric.injected",
+    "fault.slow_node.injected",
+    "fault.slow_site.injected",
+    "fault.delay_heartbeats.injected",
+    "fault.stall_disk.injected",
 };
 constexpr std::size_t kKindCount =
     sizeof(kCounterNames) / sizeof(kCounterNames[0]);
@@ -57,7 +61,7 @@ FaultInjector::FaultInjector(sim::Simulation& sim, InjectorTargets targets,
       total_counter_(
           sim.obs().metrics().GetCounter("fault.actions.injected")) {
   static_assert(kKindCount ==
-                    static_cast<std::size_t>(ActionKind::kDegradeFabric) + 1,
+                    static_cast<std::size_t>(ActionKind::kStallDisk) + 1,
                 "counter table out of sync with ActionKind");
   kind_counters_.reserve(kKindCount);
   for (const char* name : kCounterNames) {
@@ -124,6 +128,12 @@ void FaultInjector::Apply(const Action& action) {
     case ActionKind::kNamenodeBlackout:
     case ActionKind::kJobtrackerBlackout:
       ok = ApplyDaemons(action);
+      break;
+    case ActionKind::kSlowNode:
+    case ActionKind::kSlowSite:
+    case ActionKind::kDelayHeartbeats:
+    case ActionKind::kStallDisk:
+      ok = ApplyGray(action);
       break;
   }
   if (!ok) {
@@ -293,6 +303,59 @@ bool FaultInjector::ApplyDaemons(const Action& action) {
     targets_.jobtracker->Crash();
     restore_events_.push_back(sim_.ScheduleAfter(
         action.duration, [this] { targets_.jobtracker->Restart(); }));
+  }
+  return true;
+}
+
+bool FaultInjector::ApplyGray(const Action& action) {
+  grid::Grid* g = targets_.grid;
+  if (g == nullptr) return false;
+
+  if (action.kind == ActionKind::kSlowNode) {
+    const auto id = static_cast<grid::GridNodeId>(action.node);
+    if (!g->SetNodeComputeScale(id, action.value)) return false;
+    if (action.duration > 0) {
+      restore_events_.push_back(
+          sim_.ScheduleAfter(action.duration, [this, id] {
+            (void)targets_.grid->SetNodeComputeScale(id, 1.0);
+            sim_.obs().tracer().EmitInstant("fault", "slow_node.restore",
+                                            sim_.now(), id);
+          }));
+    }
+    return true;
+  }
+
+  if (action.kind == ActionKind::kStallDisk) {
+    // The disk thaws by itself once the stall elapses: no restore event.
+    return g->StallNodeDisk(static_cast<grid::GridNodeId>(action.node),
+                            action.duration);
+  }
+
+  // slow-site / delay-heartbeats: capture the exact set of leases touched so
+  // the restore heals them even after churn replaces the site's membership.
+  std::vector<grid::GridNodeId> affected;
+  const bool site_ok = ForEachSite(*g, action.site, [&](std::size_t site) {
+    const auto hit = action.kind == ActionKind::kSlowSite
+                         ? g->SlowSite(site, action.value)
+                         : g->DelayHeartbeats(site, action.jitter);
+    affected.insert(affected.end(), hit.begin(), hit.end());
+  });
+  if (!site_ok || affected.empty()) return false;
+  if (action.duration > 0) {
+    const bool slow = action.kind == ActionKind::kSlowSite;
+    restore_events_.push_back(sim_.ScheduleAfter(
+        action.duration, [this, affected = std::move(affected), slow] {
+          for (const grid::GridNodeId id : affected) {
+            if (slow) {
+              (void)targets_.grid->SetNodeComputeScale(id, 1.0);
+            } else {
+              (void)targets_.grid->SetNodeHeartbeatJitter(id, 0);
+            }
+          }
+          sim_.obs().tracer().EmitInstant(
+              "fault", slow ? "slow_site.restore" : "delay_heartbeats.restore",
+              sim_.now(), affected.size());
+        }));
   }
   return true;
 }

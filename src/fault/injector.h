@@ -92,6 +92,7 @@ class FaultInjector {
   bool ApplyNet(const Action& action);
   bool ApplyDisks(const Action& action);
   bool ApplyDaemons(const Action& action);
+  bool ApplyGray(const Action& action);
 
   sim::Simulation& sim_;
   InjectorTargets targets_;

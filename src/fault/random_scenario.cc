@@ -34,6 +34,40 @@ Scenario RandomScenario(std::uint64_t seed, RandomScenarioOptions options) {
     Action& a = timed.action;
     a.site = static_cast<int>(rng.UniformInt(0, options.sites - 1));
 
+    // Gray palette first (opt-in): a separate roll keeps the classic
+    // draw sequence — and thus every pre-existing seed's scenario —
+    // byte-identical when options.gray is off.
+    if (options.gray) {
+      const int gray_roll = static_cast<int>(rng.UniformInt(0, 99));
+      if (gray_roll < 32) {
+        switch (gray_roll % 4) {
+          case 0:
+            a.kind = ActionKind::kSlowNode;
+            a.node = static_cast<int>(rng.UniformInt(0, 47));
+            a.value = static_cast<double>(rng.UniformInt(15, 40)) / 10.0;
+            a.duration = Seconds(rng, 120, 600);
+            break;
+          case 1:
+            a.kind = ActionKind::kSlowSite;
+            a.value = static_cast<double>(rng.UniformInt(15, 40)) / 10.0;
+            a.duration = Seconds(rng, 120, 600);
+            break;
+          case 2:
+            a.kind = ActionKind::kDelayHeartbeats;
+            a.jitter = Seconds(rng, 10, 60);
+            a.duration = Seconds(rng, 120, 600);
+            break;
+          default:
+            a.kind = ActionKind::kStallDisk;
+            a.node = static_cast<int>(rng.UniformInt(0, 47));
+            a.duration = Seconds(rng, 30, 120);
+            break;
+        }
+        out.actions.push_back(timed);
+        continue;
+      }
+    }
+
     int roll = static_cast<int>(rng.UniformInt(0, 99));
     // A partition needs a second site; master blackouts are rationed to
     // one of each per scenario. Redirect exhausted rolls to preemptions,

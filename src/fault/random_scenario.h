@@ -27,6 +27,11 @@ struct RandomScenarioOptions {
   /// Permit (at most one each) namenode/jobtracker blackout. Off for
   /// workloads that cannot tolerate master outages at all.
   bool allow_blackouts = true;
+  /// Mix in the gray-fault palette (slow-node / slow-site /
+  /// delay-heartbeats / stall-disk): bounded, self-restoring degradations
+  /// the detectors and quarantine are supposed to ride out. Off by
+  /// default so pre-existing seeds keep their byte-identical scenarios.
+  bool gray = false;
 };
 
 /// Generates a deterministic random scenario named "random-<seed>",

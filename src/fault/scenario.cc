@@ -164,6 +164,15 @@ int ParseRack(Cursor& cur, const Token& tok) {
   return static_cast<int>(value);
 }
 
+int ParseNode(Cursor& cur, const Token& tok) {
+  const double value = ParseNumber(cur, tok, "node index");
+  if (value < 0 || value != std::floor(value) || value > 1e9) {
+    cur.Fail(tok.column, "bad node index '" + std::string(tok.text) +
+                             "' (want a non-negative integer)");
+  }
+  return static_cast<int>(value);
+}
+
 SimDuration ParsePositiveTicks(Cursor& cur, const Token& tok,
                                std::string_view what) {
   const SimDuration d = ParseTicks(cur, tok, what);
@@ -243,6 +252,35 @@ Action ParseAction(Cursor& cur) {
       action.duration = ParsePositiveTicks(cur, cur.Take("duration"),
                                            "duration");
     }
+  } else if (name.text == "slow-node") {
+    action.kind = ActionKind::kSlowNode;
+    action.node = ParseNode(cur, cur.Take("node"));
+    action.value = ParseFactor(cur, cur.Take("factor"));
+    if (!cur.Done()) {
+      action.duration = ParsePositiveTicks(cur, cur.Take("duration"),
+                                           "duration");
+    }
+  } else if (name.text == "slow-site") {
+    action.kind = ActionKind::kSlowSite;
+    action.site = ParseSite(cur, cur.Take("site"), /*allow_all=*/true);
+    action.value = ParseFactor(cur, cur.Take("factor"));
+    if (!cur.Done()) {
+      action.duration = ParsePositiveTicks(cur, cur.Take("duration"),
+                                           "duration");
+    }
+  } else if (name.text == "delay-heartbeats") {
+    action.kind = ActionKind::kDelayHeartbeats;
+    action.site = ParseSite(cur, cur.Take("site"), /*allow_all=*/true);
+    action.jitter = ParsePositiveTicks(cur, cur.Take("jitter"), "jitter");
+    if (!cur.Done()) {
+      action.duration = ParsePositiveTicks(cur, cur.Take("duration"),
+                                           "duration");
+    }
+  } else if (name.text == "stall-disk") {
+    action.kind = ActionKind::kStallDisk;
+    action.node = ParseNode(cur, cur.Take("node"));
+    action.duration = ParsePositiveTicks(cur, cur.Take("duration"),
+                                         "duration");
   } else if (name.text == "namenode-blackout" ||
              name.text == "jobtracker-blackout") {
     action.kind = name.text == "namenode-blackout"
@@ -302,6 +340,10 @@ std::string_view ActionName(ActionKind kind) {
     case ActionKind::kFailTor: return "fail-tor";
     case ActionKind::kPartitionRack: return "partition-rack";
     case ActionKind::kDegradeFabric: return "degrade-fabric";
+    case ActionKind::kSlowNode: return "slow-node";
+    case ActionKind::kSlowSite: return "slow-site";
+    case ActionKind::kDelayHeartbeats: return "delay-heartbeats";
+    case ActionKind::kStallDisk: return "stall-disk";
   }
   return "?";
 }
@@ -377,8 +419,20 @@ std::string FormatScenario(const Scenario& scenario) {
         break;
       case ActionKind::kDegradeUplink:
       case ActionKind::kDegradeFabric:
+      case ActionKind::kSlowSite:
         out << ' ' << FormatSite(a.site) << ' ' << FormatValue(a.value);
         if (a.duration > 0) out << ' ' << FormatTicks(a.duration);
+        break;
+      case ActionKind::kSlowNode:
+        out << ' ' << a.node << ' ' << FormatValue(a.value);
+        if (a.duration > 0) out << ' ' << FormatTicks(a.duration);
+        break;
+      case ActionKind::kDelayHeartbeats:
+        out << ' ' << FormatSite(a.site) << ' ' << FormatTicks(a.jitter);
+        if (a.duration > 0) out << ' ' << FormatTicks(a.duration);
+        break;
+      case ActionKind::kStallDisk:
+        out << ' ' << a.node << ' ' << FormatTicks(a.duration);
         break;
       case ActionKind::kFailTor:
       case ActionKind::kPartitionRack:

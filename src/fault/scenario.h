@@ -54,6 +54,11 @@ enum class ActionKind {
   kFailTor,             ///< fail-tor SITE RACK DURATION — ToR switch dies
   kPartitionRack,       ///< partition-rack SITE RACK DURATION
   kDegradeFabric,       ///< degrade-fabric SITE FACTOR [DURATION]
+  // Gray faults: the node stays up and heartbeating but misbehaves.
+  kSlowNode,            ///< slow-node NODE FACTOR [DURATION] — compute slowdown
+  kSlowSite,            ///< slow-site SITE FACTOR [DURATION]
+  kDelayHeartbeats,     ///< delay-heartbeats SITE JITTER [DURATION]
+  kStallDisk,           ///< stall-disk NODE DURATION — intermittent IO freeze
 };
 
 /// The scenario-file directive name for a kind ("preempt-site", ...).
@@ -75,6 +80,13 @@ struct Action {
   /// Racks exist only under multi-rack net topologies (src/net/topo); the
   /// injector skips racks the target site does not have.
   int rack = 0;
+  /// slow-node / stall-disk only: grid lease index (grid::GridNodeId,
+  /// >= 0). The injector skips leases that are not currently running.
+  int node = 0;
+  /// delay-heartbeats only: max extra per-heartbeat delay (> 0); each
+  /// heartbeat is held back by a deterministic hash-derived amount in
+  /// [0, jitter], never touching any RNG stream.
+  SimDuration jitter = 0;
   /// COUNT (integral, >= 1), FRACTION (in [0,1]) or FACTOR (> 0),
   /// depending on the kind. Unused kinds leave it 0.
   double value = 0;

@@ -216,6 +216,36 @@ class Grid {
     return sites_[site_index].queue_delay_factor;
   }
 
+  // ---- Gray faults: the node stays up and heartbeating, but misbehaves.
+  // The grid only routes these to the daemon layer (HOG attaches the
+  // callbacks below); an unwired grid reports them as unapplied.
+
+  /// Scales compute on one running node's daemons (factor 1 restores).
+  /// False when the lease is not running or no slow callback is attached.
+  bool SetNodeComputeScale(GridNodeId id, double factor);
+  /// Every running node at the site; returns the ids actually degraded
+  /// (capture them to restore exactly the affected set later).
+  std::vector<GridNodeId> SlowSite(std::size_t site_index, double factor);
+
+  /// Sets the max extra per-heartbeat delay on one running node's daemons
+  /// (0 restores). False when not running or no jitter callback attached.
+  bool SetNodeHeartbeatJitter(GridNodeId id, SimDuration jitter);
+  std::vector<GridNodeId> DelayHeartbeats(std::size_t site_index,
+                                          SimDuration jitter);
+
+  /// Freezes the node's disk IO for `duration` (intermittent stall); the
+  /// disk thaws by itself. False when the lease has no live processes.
+  bool StallNodeDisk(GridNodeId id, SimDuration duration);
+
+  /// Fired by SetNodeComputeScale/SlowSite with the new factor.
+  void set_on_node_slow(std::function<void(GridNode&, double)> cb) {
+    on_node_slow_ = std::move(cb);
+  }
+  /// Fired by SetNodeHeartbeatJitter/DelayHeartbeats with the new jitter.
+  void set_on_node_jitter(std::function<void(GridNode&, SimDuration)> cb) {
+    on_node_jitter_ = std::move(cb);
+  }
+
   GridNode* node(GridNodeId id) {
     return id < nodes_.size() ? nodes_[id].get() : nullptr;
   }
@@ -301,6 +331,8 @@ class Grid {
   std::function<void(GridNode&)> on_node_start_;
   std::function<void(GridNode&)> on_node_preempt_;
   std::function<void(GridNode&)> on_node_zombie_;
+  std::function<void(GridNode&, double)> on_node_slow_;
+  std::function<void(GridNode&, SimDuration)> on_node_jitter_;
 };
 
 }  // namespace hogsim::grid

@@ -53,6 +53,13 @@ class Datanode {
   /// Fired when the daemon exits for any reason (used by owners to reap).
   void set_on_exit(std::function<void()> cb) { on_exit_ = std::move(cb); }
 
+  /// Gray fault (src/fault delay-heartbeats): max extra delay added to each
+  /// future heartbeat. The actual delay is a deterministic hash of
+  /// (node, heartbeat sequence) in [0, jitter] — no RNG stream is touched.
+  /// 0 restores the exact nominal cadence.
+  void set_heartbeat_jitter(SimDuration jitter) { heartbeat_jitter_ = jitter; }
+  SimDuration heartbeat_jitter() const { return heartbeat_jitter_; }
+
  private:
   void TryRegister();
   void SendHeartbeat();
@@ -68,6 +75,8 @@ class Datanode {
   bool process_alive_ = false;
   sim::PeriodicTimer heartbeat_;
   sim::PeriodicTimer disk_check_;
+  SimDuration heartbeat_jitter_ = 0;
+  std::uint64_t heartbeat_seq_ = 0;
   std::function<void()> on_exit_;
 };
 

@@ -6,6 +6,8 @@
 #include <string_view>
 
 #include "src/hdfs/datanode.h"
+#include "src/health/detector.h"
+#include "src/health/quarantine.h"
 #include "src/util/log.h"
 
 namespace hogsim::hdfs {
@@ -21,7 +23,9 @@ Namenode::Namenode(sim::Simulation& sim, net::FlowNetwork& net,
       policy_(std::move(policy)),
       rng_(rng),
       config_(config),
-      ins_(sim.obs().metrics()) {
+      ins_(sim.obs().metrics()),
+      detector_(health::CreateDetector(config_.detector,
+                                       config_.heartbeat_recheck)) {
   assert(topology_ && policy_);
 }
 
@@ -68,6 +72,10 @@ void Namenode::Restart() {
         entry.daemon != nullptr && entry.daemon->process_alive();
     if (survived) {
       entry.last_heartbeat = sim_.now();
+      // The blackout gap is master downtime, not datanode lateness: reset
+      // the cadence history instead of feeding it a bogus interval.
+      detector_->Forget(id);
+      detector_->OnHeartbeat(id, sim_.now());
       if (!entry.alive) {
         entry.alive = true;
         ++live_datanodes_;
@@ -98,6 +106,9 @@ DatanodeId Namenode::RegisterDatanode(Datanode& daemon) {
   entry.last_heartbeat = sim_.now();
   datanodes_.push_back(std::move(entry));
   const auto id = static_cast<DatanodeId>(datanodes_.size() - 1);
+  // Registration counts as the first heartbeat for the detector's
+  // cadence history.
+  detector_->OnHeartbeat(id, sim_.now());
   if (by_net_node_.size() <= daemon.net_node()) {
     by_net_node_.resize(daemon.net_node() + 1, kInvalidDatanode);
   }
@@ -115,6 +126,7 @@ void Namenode::Heartbeat(DatanodeId id) {
   ins_.heartbeat_received.Add();
   DatanodeEntry& entry = datanodes_[id];
   entry.last_heartbeat = sim_.now();
+  detector_->OnHeartbeat(id, sim_.now());
   if (!entry.alive) {
     // Late revival after a false-positive timeout: the node re-registers.
     // Its block report is not replayed; any still-held replicas will be
@@ -125,6 +137,9 @@ void Namenode::Heartbeat(DatanodeId id) {
     ins_.datanodes_live.Set(live_datanodes_);
     sim_.obs().tracer().EmitCounter("hdfs", "datanodes.live", sim_.now(),
                                     live_datanodes_);
+    // Record the lost-then-revived cycle: flap history is the quarantine's
+    // primary evidence stream (namenode analog of the jobtracker seam).
+    if (health_ != nullptr) health_->OnFlap(entry.net_node);
   }
   ArmExpiry(id);
 }
@@ -133,21 +148,22 @@ void Namenode::ArmExpiry(DatanodeId id) {
   DatanodeEntry& entry = datanodes_[id];
   if (entry.expiry_queued || !entry.alive) return;
   entry.expiry_queued = true;
-  expiry_heap_.push({entry.last_heartbeat + config_.heartbeat_recheck, id});
+  expiry_heap_.push({detector_->Deadline(id), id});
 }
 
 void Namenode::CheckHeartbeats() {
   const SimTime now = sim_.now();
   std::vector<DatanodeId> due;
-  // `deadline < now` matches the legacy strict `now - last_heartbeat >
-  // recheck` scan, so detection happens on exactly the same tick.
+  // `deadline < now` preserves the legacy strict `now - last_heartbeat >
+  // recheck` conviction under the deadline detector, so detection happens
+  // on exactly the same tick; adaptive detectors just move the deadline.
   while (!expiry_heap_.empty() && expiry_heap_.top().deadline < now) {
     const DatanodeId id = expiry_heap_.top().id;
     expiry_heap_.pop();
     DatanodeEntry& entry = datanodes_[id];
     entry.expiry_queued = false;
     if (!entry.alive) continue;  // re-armed by the reviving heartbeat
-    if (now - entry.last_heartbeat > config_.heartbeat_recheck) {
+    if (detector_->Deadline(id) < now) {
       due.push_back(id);
     } else {
       // Heartbeated since this entry was pushed; lazily re-arm at the
@@ -164,6 +180,10 @@ void Namenode::DeclareDead(DatanodeId id) {
   DatanodeEntry& entry = datanodes_[id];
   if (!entry.alive) return;
   entry.alive = false;
+  // Deliberately NOT Forget(id): a wrongly-declared (gray, alive) datanode
+  // keeps its valid cadence history, and the reviving heartbeat's long gap
+  // widens an adaptive budget. Dead daemons never heartbeat again and
+  // replacements register under fresh ids, so stale state is inert.
   --live_datanodes_;
   ++declared_dead_;
   ins_.datanode_declared_dead.Add();
@@ -471,6 +491,11 @@ bool Namenode::DecommissionReady(DatanodeId dn) const {
 const std::string& Namenode::RackOf(DatanodeId id) const {
   assert(id < datanodes_.size());
   return datanodes_[id].rack;
+}
+
+bool Namenode::Probated(DatanodeId id) const {
+  assert(id < datanodes_.size());
+  return health_ != nullptr && health_->Probated(datanodes_[id].net_node);
 }
 
 std::size_t Namenode::missing_blocks() const {

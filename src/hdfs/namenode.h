@@ -30,6 +30,11 @@ namespace hogsim::check {
 class Auditor;
 }  // namespace hogsim::check
 
+namespace hogsim::health {
+class FailureDetector;
+class Quarantine;
+}  // namespace hogsim::health
+
 namespace hogsim::hdfs {
 
 class Datanode;
@@ -185,6 +190,7 @@ class Namenode final : public ClusterView {
 
   std::vector<DatanodeId> WritableDatanodes(Bytes size) const override;
   const std::string& RackOf(DatanodeId id) const override;
+  bool Probated(DatanodeId id) const override;
 
   /// True when the datanode is believed alive and its daemon can actually
   /// serve reads (a zombie heartbeats but cannot) — the predicate the
@@ -235,6 +241,15 @@ class Namenode final : public ClusterView {
   void set_on_datanode_dead(std::function<void(DatanodeId)> cb) {
     on_datanode_dead_ = std::move(cb);
   }
+
+  /// Attaches the cluster health manager (flap history, quarantine).
+  /// Optional; null means no flap accounting and no probation, exactly
+  /// the pre-health behavior.
+  void set_health(health::Quarantine* health) { health_ = health; }
+  health::Quarantine* health() const { return health_; }
+
+  /// The pluggable liveness detector (HdfsConfig::detector).
+  const health::FailureDetector& detector() const { return *detector_; }
 
  private:
   // The invariant auditor (src/check) reads — never mutates — the block
@@ -332,6 +347,12 @@ class Namenode final : public ClusterView {
   Rng rng_;
   HdfsConfig config_;
   Instruments ins_;
+
+  // The pluggable liveness rule (src/health): ArmExpiry/CheckHeartbeats
+  // ask it for per-datanode conviction deadlines.
+  std::unique_ptr<health::FailureDetector> detector_;
+  // Cluster health manager (flaps, quarantine); owned by HogCluster.
+  health::Quarantine* health_ = nullptr;
 
   std::vector<DatanodeEntry> datanodes_;
   // net::NodeId-indexed (node ids are dense): O(1) locality lookups on the

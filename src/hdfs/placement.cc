@@ -15,7 +15,7 @@ class Pool {
  public:
   Pool(const ClusterView& view, Bytes size,
        const std::vector<DatanodeId>& exclude)
-      : nodes_(view.WritableDatanodes(size)) {
+      : view_(&view), nodes_(view.WritableDatanodes(size)) {
     if (!exclude.empty()) {
       const std::unordered_set<DatanodeId> taken(exclude.begin(),
                                                  exclude.end());
@@ -47,6 +47,24 @@ class Pool {
     return TakeRandom(rng, [](DatanodeId) { return true; });
   }
 
+  /// TakeRandom with health deprioritization: candidates in quarantine
+  /// probation satisfy `pred` only after every healthy candidate has been
+  /// ruled out. With no probated node the first tier matches exactly the
+  /// legacy set and an empty tier draws no RNG, so the byte-stream is
+  /// unchanged.
+  template <typename Pred>
+  DatanodeId TakeHealthyFirst(Rng& rng, Pred pred) {
+    const DatanodeId healthy = TakeRandom(rng, [&](DatanodeId id) {
+      return !view_->Probated(id) && pred(id);
+    });
+    if (healthy != kInvalidDatanode) return healthy;
+    return TakeRandom(rng, pred);
+  }
+
+  DatanodeId TakeHealthyFirst(Rng& rng) {
+    return TakeHealthyFirst(rng, [](DatanodeId) { return true; });
+  }
+
   /// Removes a specific node if present; true on success.
   bool TakeExact(DatanodeId id) {
     const auto it = std::find(nodes_.begin(), nodes_.end(), id);
@@ -57,6 +75,7 @@ class Pool {
   }
 
  private:
+  const ClusterView* view_;
   std::vector<DatanodeId> nodes_;
   std::vector<std::size_t> matches_;
 };
@@ -69,13 +88,16 @@ std::vector<DatanodeId> DefaultPlacement::ChooseTargets(
   std::vector<DatanodeId> result;
   Pool pool(view, size, exclude);
 
-  // Replica 1: the writer's node when it is a usable datanode.
+  // Replica 1: the writer's node when it is a usable, healthy datanode (a
+  // probated writer forfeits write locality rather than anchoring the
+  // pipeline on a degraded disk).
   {
     DatanodeId first = kInvalidDatanode;
-    if (writer != kInvalidDatanode && pool.TakeExact(writer)) {
+    if (writer != kInvalidDatanode && !view.Probated(writer) &&
+        pool.TakeExact(writer)) {
       first = writer;
     } else {
-      first = pool.TakeRandom(rng);
+      first = pool.TakeHealthyFirst(rng);
     }
     if (first == kInvalidDatanode) return result;
     result.push_back(first);
@@ -86,10 +108,10 @@ std::vector<DatanodeId> DefaultPlacement::ChooseTargets(
 
   // Replica 2: a different rack, when one exists.
   {
-    DatanodeId pick = pool.TakeRandom(rng, [&](DatanodeId id) {
+    DatanodeId pick = pool.TakeHealthyFirst(rng, [&](DatanodeId id) {
       return view.RackOf(id) != first_rack;
     });
-    if (pick == kInvalidDatanode) pick = pool.TakeRandom(rng);
+    if (pick == kInvalidDatanode) pick = pool.TakeHealthyFirst(rng);
     if (pick == kInvalidDatanode) return result;
     result.push_back(pick);
   }
@@ -99,17 +121,17 @@ std::vector<DatanodeId> DefaultPlacement::ChooseTargets(
   // while keeping one intra-rack copy for cheap reads).
   {
     const std::string& second_rack = view.RackOf(result[1]);
-    DatanodeId pick = pool.TakeRandom(rng, [&](DatanodeId id) {
+    DatanodeId pick = pool.TakeHealthyFirst(rng, [&](DatanodeId id) {
       return view.RackOf(id) == second_rack;
     });
-    if (pick == kInvalidDatanode) pick = pool.TakeRandom(rng);
+    if (pick == kInvalidDatanode) pick = pool.TakeHealthyFirst(rng);
     if (pick == kInvalidDatanode) return result;
     result.push_back(pick);
   }
 
   // Remaining replicas: uniformly random.
   while (static_cast<int>(result.size()) < count) {
-    const DatanodeId pick = pool.TakeRandom(rng);
+    const DatanodeId pick = pool.TakeHealthyFirst(rng);
     if (pick == kInvalidDatanode) break;
     result.push_back(pick);
   }
@@ -133,13 +155,15 @@ std::vector<DatanodeId> SiteAwarePlacement::ChooseTargets(
   };
   for (DatanodeId id : exclude) mark(id);
 
-  // Replica 1: writer-local for map-output locality.
+  // Replica 1: writer-local for map-output locality (skipped, like in the
+  // rack-aware policy, while the writer sits in probation).
   {
     DatanodeId first = kInvalidDatanode;
-    if (writer != kInvalidDatanode && pool.TakeExact(writer)) {
+    if (writer != kInvalidDatanode && !view.Probated(writer) &&
+        pool.TakeExact(writer)) {
       first = writer;
     } else {
-      first = pool.TakeRandom(rng);
+      first = pool.TakeHealthyFirst(rng);
     }
     if (first == kInvalidDatanode) return result;
     result.push_back(first);
@@ -154,15 +178,15 @@ std::vector<DatanodeId> SiteAwarePlacement::ChooseTargets(
   // matches — and an empty match set draws no RNG, keeping the placement
   // byte-stream identical to the pre-topology policy.
   while (static_cast<int>(result.size()) < count) {
-    DatanodeId pick = pool.TakeRandom(rng, [&](DatanodeId id) {
+    DatanodeId pick = pool.TakeHealthyFirst(rng, [&](DatanodeId id) {
       return !sites_used.contains(std::string(SiteOfRack(view.RackOf(id))));
     });
     if (pick == kInvalidDatanode) {
-      pick = pool.TakeRandom(rng, [&](DatanodeId id) {
+      pick = pool.TakeHealthyFirst(rng, [&](DatanodeId id) {
         return !racks_used.contains(view.RackOf(id));
       });
     }
-    if (pick == kInvalidDatanode) pick = pool.TakeRandom(rng);
+    if (pick == kInvalidDatanode) pick = pool.TakeHealthyFirst(rng);
     if (pick == kInvalidDatanode) break;
     result.push_back(pick);
     mark(pick);

@@ -28,6 +28,12 @@ class ClusterView {
 
   /// Failure domain of a datanode (topology-script output).
   virtual const std::string& RackOf(DatanodeId id) const = 0;
+
+  /// True while the node sits in health quarantine (src/health): placement
+  /// deprioritizes it — probated nodes take new replicas only when the
+  /// healthy candidates cannot fill the request. Constant-false unless a
+  /// quarantine manager is attached and has probated the node.
+  virtual bool Probated(DatanodeId /*id*/) const { return false; }
 };
 
 class BlockPlacementPolicy {

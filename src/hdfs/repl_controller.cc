@@ -221,7 +221,14 @@ void ReplController::AdjustBlock(BlockId block, double spare_q,
     // look (correctly) less safe than spread ones, the target rises, and
     // the resulting repair lands on a fresh site (placement excludes
     // holders and maximizes diversity): clumping heals itself.
-    const double q = SiteLossProb(entry.rack);
+    double q = SiteLossProb(entry.rack);
+    // A quarantined holder is priced at elevated loss risk (the same
+    // common-shock form as co-location): its flapping or degraded node is
+    // likelier than its site average to drop the copy, so blocks leaning
+    // on probated holders earn higher targets.
+    if (nn_.Probated(dn)) {
+      q = config_.probation_risk + (1.0 - config_.probation_risk) * q;
+    }
     const int prior_copies = per_site[SiteKey(entry.rack)]++;
     holder_q.push_back(prior_copies == 0
                            ? q

@@ -122,6 +122,14 @@ struct ReplControllerConfig {
   /// itself even when the copy count looks satisfied.
   double site_correlation = 0.3;
 
+  /// Extra loss risk carried by a replica whose holder sits in health
+  /// quarantine (src/health): a probated copy is priced at
+  /// risk + (1 - risk) * q — the flapping or degraded node may well be
+  /// on its way out, so blocks leaning on probated holders earn higher
+  /// targets and repairs land on healthy nodes. Only consulted when a
+  /// quarantine manager is attached to the namenode.
+  double probation_risk = 0.5;
+
   /// Targets are only LOWERED to the RF that still meets a tighter target
   /// (shortfall budget scaled by this factor), opening a dead band between
   /// the raise and lower thresholds: a hazard hovering at an RF boundary

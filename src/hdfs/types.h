@@ -41,8 +41,14 @@ struct HdfsConfig {
 
   SimDuration heartbeat_interval = 3 * kSecond;
   /// A datanode silent for this long is declared dead (the paper lowers
-  /// this from the traditional ~15 minutes to 30 seconds).
+  /// this from the traditional ~15 minutes to 30 seconds). The `deadline`
+  /// detector's budget; `phi` bootstraps and clamps with it.
   SimDuration heartbeat_recheck = FromSeconds(10.5 * 60);
+
+  /// Liveness rule, resolved through health::CreateDetector ("deadline"
+  /// or "phi[:k=v;...]"); "deadline" is byte-identical to the pre-seam
+  /// namenode. See src/health.
+  std::string detector = "deadline";
 
   /// Max concurrent re-replication transfers a single node sources or
   /// sinks (dfs.max-repl-streams in Hadoop).

@@ -39,6 +39,8 @@ HogCluster::HogCluster(std::uint64_t seed, HogConfig config)
   config_.mr.tracker_expiry = config_.heartbeat_recheck;
   config_.mr.disk_check_interval = config_.disk_check_interval;
   config_.mr.task_copies = config_.task_copies;
+  config_.hdfs.detector = config_.detector;
+  config_.mr.detector = config_.detector;
 
   // The stable central server: namenode, jobtracker, and the web
   // repository hosting the 75 MB worker package, in its own "site".
@@ -48,6 +50,15 @@ HogCluster::HogCluster(std::uint64_t seed, HogConfig config)
   grid_ = std::make_unique<grid::Grid>(sim_, net_, master_,
                                        rng.Fork("grid"), config_.grid);
   for (const grid::SiteConfig& site : config_.sites) grid_->AddSite(site);
+
+  if (config_.quarantine.enabled) {
+    config_.quarantine.heartbeat_interval = config_.mr.heartbeat_interval;
+    quarantine_ = std::make_unique<health::Quarantine>(
+        sim_, config_.quarantine, [this](std::uint32_t node) {
+          return static_cast<int>(net_.site_of(node));
+        });
+    quarantine_->Start();
+  }
 
   hdfs::TopologyScript topology = config_.site_awareness
                                       ? hdfs::SiteAwarenessScript()
@@ -73,6 +84,7 @@ HogCluster::HogCluster(std::uint64_t seed, HogConfig config)
                                                std::move(placement),
                                                rng.Fork("namenode"),
                                                config_.hdfs);
+  namenode_->set_health(quarantine_.get());
   namenode_->Start();
   if (config_.repl.availability_target > 0) {
     repl_controller_ =
@@ -82,6 +94,7 @@ HogCluster::HogCluster(std::uint64_t seed, HogConfig config)
   jobtracker_ = std::make_unique<mr::JobTracker>(sim_, net_, *namenode_,
                                                  master_, topology,
                                                  config_.mr);
+  jobtracker_->set_health(quarantine_.get());
   jobtracker_->Start();
   dfs_ = std::make_unique<hdfs::DfsClient>(*namenode_);
 
@@ -90,6 +103,17 @@ HogCluster::HogCluster(std::uint64_t seed, HogConfig config)
       [this](grid::GridNode& node) { OnNodePreempt(node); });
   grid_->set_on_node_zombie(
       [this](grid::GridNode& node) { OnNodeZombie(node); });
+  // Gray faults (src/fault slow-node / delay-heartbeats): propagate the
+  // grid-level knob to the lease's live Hadoop daemons.
+  grid_->set_on_node_slow([this](grid::GridNode& node, double factor) {
+    if (node.id() >= workers_.size() || workers_[node.id()] == nullptr) return;
+    workers_[node.id()]->tasktracker->set_compute_scale(factor);
+  });
+  grid_->set_on_node_jitter([this](grid::GridNode& node, SimDuration jitter) {
+    if (node.id() >= workers_.size() || workers_[node.id()] == nullptr) return;
+    workers_[node.id()]->tasktracker->set_heartbeat_jitter(jitter);
+    workers_[node.id()]->datanode->set_heartbeat_jitter(jitter);
+  });
 }
 
 HogCluster::~HogCluster() = default;
@@ -120,6 +144,9 @@ void HogCluster::OnNodePreempt(grid::GridNode& node) {
   // of the loss only through heartbeat silence.
   worker.datanode->Shutdown();
   worker.tasktracker->Shutdown();
+  // The glidein is gone for good; a future lease at this network slot is
+  // a fresh node and must not inherit its predecessor's probation.
+  if (quarantine_ != nullptr) quarantine_->OnNodeDead(node.net_node());
 }
 
 void HogCluster::OnNodeZombie(grid::GridNode& node) {
@@ -141,6 +168,7 @@ void HogCluster::OnNodeZombie(grid::GridNode& node) {
   };
   worker.datanode->set_on_exit(reap);
   worker.tasktracker->set_on_exit(reap);
+  if (quarantine_ != nullptr) quarantine_->OnNodeDead(node.net_node());
 }
 
 bool HogCluster::WaitForNodes(int count, SimTime deadline) {

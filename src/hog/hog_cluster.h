@@ -19,6 +19,7 @@
 
 #include "src/grid/grid.h"
 #include "src/hdfs/datanode.h"
+#include "src/health/quarantine.h"
 #include "src/hdfs/dfs_client.h"
 #include "src/hdfs/namenode.h"
 #include "src/hdfs/repl_controller.h"
@@ -37,6 +38,19 @@ struct HogConfig {
   SimDuration heartbeat_recheck = 30 * kSecond;   // namenode + jobtracker
   SimDuration disk_check_interval = 3 * kMinute;  // §IV.D.1 fix; 0 = stock
   bool site_awareness = true;  // false = flat topology (ablation)
+
+  /// Failure detector for both masters, resolved through
+  /// health::CreateDetector ("deadline" — byte-identical to the fixed
+  /// heartbeat_recheck expiry — or "phi[:k=v;...]"). Overrides
+  /// hdfs.detector and mr.detector at construction.
+  std::string detector = "deadline";
+
+  /// Gray-failure quarantine (src/health). quarantine.enabled = true runs
+  /// a Quarantine manager fed by both masters: flapping or degraded nodes
+  /// enter probation, the scheduler and placement steer away from them,
+  /// and the RF controller prices their replicas at elevated loss risk.
+  /// Disabled by default (byte-identical to the pre-health cluster).
+  health::QuarantineConfig quarantine;
 
   // --- Worker shape (§IV.A): one core per glidein ---
   int map_slots_per_node = 1;
@@ -90,6 +104,9 @@ class HogCluster {
   /// The adaptive replication controller, or nullptr when
   /// config.repl.availability_target <= 0 (flat-RF mode).
   hdfs::ReplController* repl_controller() { return repl_controller_.get(); }
+  /// The gray-failure quarantine manager, or nullptr when
+  /// config.quarantine.enabled is false.
+  health::Quarantine* quarantine() { return quarantine_.get(); }
   const HogConfig& config() const { return config_; }
 
   /// Elastic sizing: submit/remove Condor jobs until `count` glideins are
@@ -136,6 +153,7 @@ class HogCluster {
   net::FlowNetwork net_;
   net::NodeId master_ = net::kInvalidNode;
   std::unique_ptr<grid::Grid> grid_;
+  std::unique_ptr<health::Quarantine> quarantine_;
   std::unique_ptr<hdfs::Namenode> namenode_;
   std::unique_ptr<hdfs::ReplController> repl_controller_;
   std::unique_ptr<mr::JobTracker> jobtracker_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/health/detector.h"
+#include "src/health/quarantine.h"
 #include "src/sched/policy.h"
 #include "src/util/log.h"
 
@@ -20,7 +22,9 @@ JobTracker::JobTracker(sim::Simulation& sim, net::FlowNetwork& net,
       config_(std::move(config)),
       ins_(sim.obs().metrics()),
       view_(std::make_unique<sched::ClusterView>(*this)),
-      policy_(sched::CreatePolicy(config_.scheduler)) {
+      policy_(sched::CreatePolicy(config_.scheduler)),
+      detector_(health::CreateDetector(config_.detector,
+                                       config_.tracker_expiry)) {
   assert(topology_);
   policy_->Attach(*view_);
 }
@@ -59,6 +63,10 @@ TrackerId JobTracker::RegisterTracker(TaskTracker& daemon) {
   entry.alive = true;
   entry.last_heartbeat = sim_.now();
   trackers_.push_back(std::move(entry));
+  // Registration counts as the first heartbeat for the detector's
+  // cadence history.
+  detector_->OnHeartbeat(static_cast<TrackerId>(trackers_.size() - 1),
+                         sim_.now());
   ++live_trackers_;
   ins_.trackers_live.Set(live_trackers_);
   sim_.obs().tracer().EmitCounter("mr", "trackers.live", sim_.now(),
@@ -89,6 +97,10 @@ void JobTracker::Restart() {
     TrackerEntry& entry = trackers_[id];
     if (entry.daemon != nullptr && entry.daemon->process_alive()) {
       entry.last_heartbeat = sim_.now();
+      // The blackout gap is master downtime, not tracker lateness: reset
+      // the cadence history instead of feeding it a bogus interval.
+      detector_->Forget(id);
+      detector_->OnHeartbeat(id, sim_.now());
       if (!entry.alive) {
         entry.alive = true;
         ++live_trackers_;
@@ -166,6 +178,8 @@ void JobTracker::Heartbeat(TrackerId id) {
   if (id >= trackers_.size()) return;
   TrackerEntry& entry = trackers_[id];
   entry.last_heartbeat = sim_.now();
+  detector_->OnHeartbeat(id, sim_.now());
+  if (health_ != nullptr) health_->OnHeartbeat(entry.net_node, sim_.now());
   if (!entry.alive) {
     entry.alive = true;
     ++live_trackers_;
@@ -175,6 +189,9 @@ void JobTracker::Heartbeat(TrackerId id) {
     // Re-registration after expiry: the glidein reincarnated, so its
     // blacklist entries describe a process that no longer exists.
     ForgiveTracker(id);
+    // ...but the lost-then-revived cycle itself is durable evidence: a
+    // flapping node keeps its flap history (the quarantine keys off it).
+    if (health_ != nullptr) health_->OnFlap(entry.net_node);
   }
   ArmExpiry(id);
   ScheduleOn(id);
@@ -184,21 +201,22 @@ void JobTracker::ArmExpiry(TrackerId id) {
   TrackerEntry& entry = trackers_[id];
   if (entry.expiry_queued || !entry.alive) return;
   entry.expiry_queued = true;
-  expiry_heap_.push({entry.last_heartbeat + config_.tracker_expiry, id});
+  expiry_heap_.push({detector_->Deadline(id), id});
 }
 
 void JobTracker::CheckTrackers() {
   const SimTime now = sim_.now();
   std::vector<TrackerId> due;
-  // `deadline < now` matches the legacy strict `now - last_heartbeat >
-  // expiry` scan, so detection happens on exactly the same tick.
+  // `deadline < now` preserves the legacy strict `now - last_heartbeat >
+  // expiry` conviction under the deadline detector, so detection happens
+  // on exactly the same tick; adaptive detectors just move the deadline.
   while (!expiry_heap_.empty() && expiry_heap_.top().deadline < now) {
     const TrackerId id = expiry_heap_.top().id;
     expiry_heap_.pop();
     TrackerEntry& entry = trackers_[id];
     entry.expiry_queued = false;
     if (!entry.alive) continue;  // re-armed by the reviving heartbeat
-    if (now - entry.last_heartbeat > config_.tracker_expiry) {
+    if (detector_->Deadline(id) < now) {
       due.push_back(id);
     } else {
       // Heartbeated since this entry was pushed; the true deadline is in
@@ -215,9 +233,16 @@ void JobTracker::DeclareLost(TrackerId id) {
   TrackerEntry& entry = trackers_[id];
   if (!entry.alive) return;
   entry.alive = false;
+  // Deliberately NOT Forget(id): if this declare is wrong (a gray, alive
+  // tracker), its cadence history is still valid evidence and the reviving
+  // heartbeat's long gap widens an adaptive budget instead of restarting
+  // it from scratch. Truly dead trackers never heartbeat again and new
+  // glideins register under fresh ids, so stale state is inert.
   --live_trackers_;
   ++trackers_lost_;
   ins_.tracker_lost.Add();
+  ins_.detection_latency_s.Observe(
+      ToSeconds(sim_.now() - entry.last_heartbeat));
   ins_.trackers_live.Set(live_trackers_);
   obs::Tracer& tracer = sim_.obs().tracer();
   tracer.EmitInstant("mr", "tracker.lost", sim_.now(), id);
@@ -330,6 +355,11 @@ void JobTracker::ScheduleOn(TrackerId id) {
       !entry.daemon->process_alive()) {
     return;
   }
+  // Quarantine: a probated node gets no new work from any policy (its
+  // running attempts finish or get speculated elsewhere). ClusterView
+  // additionally exposes the flag so policies can steer before this
+  // backstop. Constant-false when quarantine is off (the default).
+  if (health_ != nullptr && health_->Probated(entry.net_node)) return;
   // Hadoop 0.20 assigns at most one map and one reduce per heartbeat.
   AssignMap(id);
   AssignReduce(id);
@@ -498,6 +528,15 @@ void JobTracker::ReportAttempt(const AttemptReport& report) {
     const AttemptRecord& record = it->second;
     (report.success ? ins_.attempt_succeeded : ins_.attempt_failed).Add();
     ins_.attempt_duration_s.Observe(ToSeconds(sim_.now() - record.started));
+    if (report.success && record.type == TaskType::kMap &&
+        health_ != nullptr) {
+      // Successful map wall time vs site peers is the quarantine's
+      // gray-degradation signal. Maps only: a reduce's wall time is
+      // dominated by waiting for the shuffle, so it is near-identical
+      // across nodes and would drown the per-node signal.
+      health_->OnTaskDuration(trackers_[record.tracker].net_node,
+                              ToSeconds(sim_.now() - record.started));
+    }
     // One span per finished attempt; tid = tracker, so chrome://tracing
     // shows a per-node lane of everything that node executed.
     sim_.obs().tracer().EmitSpan(
@@ -562,6 +601,15 @@ void JobTracker::KillOtherAttempts(JobInfo& job, TaskInfo& task,
     if (it == attempts_.end()) continue;
     TrackerEntry& entry = trackers_[it->second.tracker];
     if (entry.daemon != nullptr) entry.daemon->KillAttempt(a);
+    if (health_ != nullptr && it->second.type == TaskType::kMap) {
+      // Losing a map speculation race is duration evidence: the node held
+      // the task this long and a peer still finished first, so the
+      // elapsed time is a lower bound on what completion would have cost.
+      // Without this feed a slow node whose maps always lose the race
+      // never produces a duration sample at all.
+      health_->OnTaskDuration(entry.net_node,
+                              ToSeconds(sim_.now() - it->second.started));
+    }
     FinishAttempt(a);
   }
   (void)job;

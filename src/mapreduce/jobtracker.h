@@ -39,6 +39,11 @@ namespace hogsim::check {
 class Auditor;
 }  // namespace hogsim::check
 
+namespace hogsim::health {
+class FailureDetector;
+class Quarantine;
+}  // namespace hogsim::health
+
 namespace hogsim::sched {
 class ClusterView;
 class SchedulerPolicy;
@@ -202,6 +207,15 @@ class JobTracker {
 
   // ---- Introspection --------------------------------------------------------
 
+  /// Attaches the cluster health manager (flap history, quarantine).
+  /// Optional: a null health pointer means no quarantine and no flap
+  /// accounting, exactly the pre-health behavior.
+  void set_health(health::Quarantine* health) { health_ = health; }
+  health::Quarantine* health() const { return health_; }
+
+  /// The pluggable liveness detector (MrConfig::detector).
+  const health::FailureDetector& detector() const { return *detector_; }
+
   int live_trackers() const { return live_trackers_; }
   /// Blacklist entries across running jobs (the mr.blacklist.active gauge).
   int blacklisted_entries() const { return blacklist_active_; }
@@ -276,7 +290,9 @@ class JobTracker {
           trackers_live(m.GetGauge("mr.trackers.live")),
           jobs_running(m.GetGauge("mr.jobs.running")),
           blacklist_active(m.GetGauge("mr.blacklist.active")),
-          attempt_duration_s(m.GetHistogram("mr.attempt.duration_s")) {}
+          attempt_duration_s(m.GetHistogram("mr.attempt.duration_s")),
+          detection_latency_s(
+              m.GetHistogram("mr.tracker.detection_latency_s")) {}
     obs::Counter& attempt_launched;
     obs::Counter& attempt_succeeded;
     obs::Counter& attempt_failed;
@@ -294,6 +310,9 @@ class JobTracker {
     obs::Gauge& jobs_running;
     obs::Gauge& blacklist_active;
     obs::Histogram& attempt_duration_s;
+    /// Silence between a lost tracker's last heartbeat and the declare —
+    /// the jobtracker-side twin of hdfs.deadnode.detection_latency_s.
+    obs::Histogram& detection_latency_s;
   };
 
   /// Declares lost every alive tracker whose expiry deadline passed.
@@ -363,6 +382,13 @@ class JobTracker {
   // this jobtracker. Job-ordering queues live inside the policy.
   std::unique_ptr<sched::ClusterView> view_;
   std::unique_ptr<sched::SchedulerPolicy> policy_;
+
+  // The pluggable liveness rule (src/health): ArmExpiry/CheckTrackers ask
+  // it for per-tracker conviction deadlines. "deadline" reproduces the
+  // fixed tracker_expiry byte-for-byte.
+  std::unique_ptr<health::FailureDetector> detector_;
+  // Cluster health manager (flaps, quarantine); owned by HogCluster.
+  health::Quarantine* health_ = nullptr;
 
   // Min-heap of {deadline, tracker} candidates for lost-tracker expiry.
   // Entries are not removed on heartbeat; a popped entry whose tracker

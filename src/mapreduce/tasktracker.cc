@@ -6,6 +6,7 @@
 
 #include "src/mapreduce/jobtracker.h"
 #include "src/util/log.h"
+#include "src/util/rng.h"
 
 namespace hogsim::mr {
 
@@ -13,6 +14,14 @@ namespace {
 Bytes MapOutputBytes(const MapAttemptSpec& spec) {
   return static_cast<Bytes>(
       std::llround(spec.selectivity * static_cast<double>(spec.input_size)));
+}
+
+/// Gray-fault compute slowdown; exact pass-through at the default scale so
+/// an un-slowed run is byte-identical.
+SimDuration Scaled(SimDuration d, double scale) {
+  if (scale == 1.0) return d;
+  return static_cast<SimDuration>(
+      std::llround(static_cast<double>(d) * scale));
 }
 }  // namespace
 
@@ -94,7 +103,21 @@ void TaskTracker::EnterZombieMode() {
 
 void TaskTracker::SendHeartbeat() {
   if (!process_alive_) return;
-  const SimDuration latency = net_.Latency(node_, jt_.master_node());
+  SimDuration latency = net_.Latency(node_, jt_.master_node());
+  ++heartbeat_seq_;
+  if (heartbeat_jitter_ > 0) {
+    // Derandomized delay (delay-heartbeats gray fault): a hash of
+    // (node, sequence window) keeps the jitter seed-independent and
+    // RNG-neutral. Windows of 16 consecutive heartbeats share one draw —
+    // a gray node's lateness is bursty (GC and I/O pauses hold several
+    // heartbeats back together), and correlated delays are what open
+    // receiver-side silences; independent per-heartbeat draws would be
+    // masked by the in-flight neighbors filling every gap.
+    const std::uint64_t h = MixHash(
+        (static_cast<std::uint64_t>(node_) << 32) | (heartbeat_seq_ / 16));
+    latency += static_cast<SimDuration>(
+        h % static_cast<std::uint64_t>(heartbeat_jitter_ + 1));
+  }
   const TrackerId id = id_;
   JobTracker& jt = jt_;
   sim_.ScheduleAfter(latency, [&jt, id] { jt.Heartbeat(id); });
@@ -160,8 +183,8 @@ void TaskTracker::MapRead(AttemptId id) {
 
 void TaskTracker::MapCompute(AttemptId id) {
   Attempt& a = attempts_.at(id);
-  const SimDuration compute =
-      TransferTime(a.map.input_size, a.map.compute_rate);
+  const SimDuration compute = Scaled(
+      TransferTime(a.map.input_size, a.map.compute_rate), compute_scale_);
   a.step = sim_.ScheduleAfter(compute, [this, id] { MapWriteOutput(id); });
 }
 
@@ -342,7 +365,8 @@ void TaskTracker::ReduceMerge(AttemptId id) {
 void TaskTracker::ReduceCompute(AttemptId id) {
   Attempt& a = attempts_.at(id);
   a.disk_ops.clear();
-  const SimDuration compute = TransferTime(a.shuffled, a.reduce.compute_rate);
+  const SimDuration compute =
+      Scaled(TransferTime(a.shuffled, a.reduce.compute_rate), compute_scale_);
   a.step = sim_.ScheduleAfter(compute, [this, id] {
     if (!attempts_.contains(id)) return;
     Attempt& attempt = attempts_.at(id);

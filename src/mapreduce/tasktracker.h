@@ -128,6 +128,20 @@ class TaskTracker {
   /// Fired when the daemon exits for any reason.
   void set_on_exit(std::function<void()> cb) { on_exit_ = std::move(cb); }
 
+  // ---- Gray faults (src/fault slow-node / delay-heartbeats) -------------
+
+  /// Scales the duration of compute stages STARTED from now on (factor 2 =
+  /// tasks take twice as long; 1 restores). In-flight stages keep their
+  /// original schedule.
+  void set_compute_scale(double factor) { compute_scale_ = factor; }
+  double compute_scale() const { return compute_scale_; }
+
+  /// Max extra delay added to each future heartbeat; the actual delay is a
+  /// deterministic hash of (node, heartbeat sequence) in [0, jitter] — no
+  /// RNG stream is touched. 0 restores the exact nominal cadence.
+  void set_heartbeat_jitter(SimDuration jitter) { heartbeat_jitter_ = jitter; }
+  SimDuration heartbeat_jitter() const { return heartbeat_jitter_; }
+
  private:
   struct PendingFetch {
     net::NodeId source;
@@ -203,6 +217,9 @@ class TaskTracker {
   std::unordered_map<AttemptId, Attempt> attempts_;
   std::unordered_map<JobId, Bytes> job_intermediate_;
   std::uint64_t attempts_started_ = 0;
+  double compute_scale_ = 1.0;
+  SimDuration heartbeat_jitter_ = 0;
+  std::uint64_t heartbeat_seq_ = 0;
   std::function<void()> on_exit_;
 };
 

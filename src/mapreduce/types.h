@@ -60,8 +60,16 @@ struct MrConfig {
   /// ("capacity:queues=prod:0.6:1.0;adhoc:0.4:0.8"). See src/sched.
   std::string scheduler = "fifo";
 
+  /// Liveness rule, resolved through health::CreateDetector: "deadline"
+  /// (the fixed tracker_expiry recheck, byte-identical to the pre-seam
+  /// jobtracker) or "phi" (adaptive phi-accrual), optionally with
+  /// parameters after a colon ("phi:threshold=8;window=64"). See
+  /// src/health.
+  std::string detector = "deadline";
+
   SimDuration heartbeat_interval = 3 * kSecond;
-  /// A tasktracker silent for this long is declared lost.
+  /// A tasktracker silent for this long is declared lost (the `deadline`
+  /// detector's budget; `phi` bootstraps and clamps with it).
   SimDuration tracker_expiry = 10 * kMinute;
 
   /// Fraction of a job's maps that must finish before its reduces launch.

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/health/quarantine.h"
 #include "src/sched/policy.h"
 
 namespace hogsim::sched {
@@ -24,6 +25,11 @@ std::size_t ClusterView::tracker_count() const { return jt_.trackers_.size(); }
 const mr::JobTracker::TrackerEntry& ClusterView::tracker(
     mr::TrackerId id) const {
   return jt_.trackers_[id];
+}
+
+bool ClusterView::Probated(mr::TrackerId id) const {
+  return jt_.health_ != nullptr &&
+         jt_.health_->Probated(jt_.trackers_[id].net_node);
 }
 
 int ClusterView::total_map_slots() const {

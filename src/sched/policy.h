@@ -68,6 +68,11 @@ class ClusterView {
   mr::JobInfo& job(mr::JobId id);
   std::size_t tracker_count() const;
   const mr::JobTracker::TrackerEntry& tracker(mr::TrackerId id) const;
+  /// True while `id`'s node sits in health quarantine (src/health). The
+  /// jobtracker already refuses to launch on probated trackers; policies
+  /// may additionally consult this to steer picks toward healthy slots.
+  /// Constant-false unless a quarantine manager is attached.
+  bool Probated(mr::TrackerId id) const;
   /// Map/reduce slots across alive trackers (fair/capacity share bases).
   int total_map_slots() const;
   int total_reduce_slots() const;

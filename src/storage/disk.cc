@@ -37,13 +37,26 @@ void FairQueue::CancelAll() {
   ops_.clear();
 }
 
+void FairQueue::Freeze(SimDuration duration) {
+  if (duration <= 0) return;
+  // Bank progress earned before the freeze, at the pre-freeze share.
+  AdvanceAll();
+  const SimTime until = sim_.now() + duration;
+  if (until <= frozen_until_) return;  // an active freeze already covers it
+  frozen_until_ = until;
+  RescheduleAll();
+}
+
 void FairQueue::AdvanceAll() {
   if (ops_.empty()) return;
   const SimTime now = sim_.now();
   const Rate share = rate_ / static_cast<double>(ops_.size());
   for (auto& [id, op] : ops_) {
-    if (now > op.last_update) {
-      op.remaining -= share * ToSeconds(now - op.last_update);
+    // Frozen spans earn no progress: an op only advances from the later of
+    // its last update and the thaw (frozen_until_ is 0 when never frozen).
+    const SimTime from = std::max(op.last_update, frozen_until_);
+    if (now > from) {
+      op.remaining -= share * ToSeconds(now - from);
       if (op.remaining < 0.0) op.remaining = 0.0;
     }
     op.last_update = now;
@@ -53,13 +66,14 @@ void FairQueue::AdvanceAll() {
 void FairQueue::RescheduleAll() {
   if (ops_.empty()) return;
   const Rate share = rate_ / static_cast<double>(ops_.size());
+  const SimTime start = std::max(sim_.now(), frozen_until_);
   for (auto& [id, op] : ops_) {
     sim_.Cancel(op.completion);
     const auto remaining = static_cast<Bytes>(std::ceil(op.remaining));
     const SimDuration eta = TransferTime(remaining, share);
     const OpId captured = id;
     op.completion =
-        sim_.ScheduleAfter(eta, [this, captured] { Finish(captured); });
+        sim_.ScheduleAt(start + eta, [this, captured] { Finish(captured); });
   }
 }
 

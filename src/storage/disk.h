@@ -40,6 +40,14 @@ class FairQueue {
   /// owning tasks are being killed and clean themselves up).
   void CancelAll();
 
+  /// Gray fault: no operation makes progress until now + `duration` (an
+  /// intermittent IO freeze — the host's own workload monopolized the
+  /// spindle). In-flight progress is banked first; completions resume
+  /// after the thaw. Overlapping freezes extend, never shorten. Costs one
+  /// comparison per advance when never used.
+  void Freeze(SimDuration duration);
+  SimTime frozen_until() const { return frozen_until_; }
+
   std::size_t active() const { return ops_.size(); }
   Rate rate() const { return rate_; }
 
@@ -59,6 +67,7 @@ class FairQueue {
   Rate rate_;
   std::unordered_map<OpId, Op> ops_;
   OpId next_op_ = 1;
+  SimTime frozen_until_ = 0;
 };
 
 class Disk {
@@ -103,6 +112,10 @@ class Disk {
   void Cancel(FairQueue::OpId id) { queue_.Cancel(id); }
   void CancelAll() { queue_.CancelAll(); }
   std::size_t active_ops() const { return queue_.active(); }
+
+  /// Gray fault (src/fault stall-disk): freezes all IO for `duration`.
+  void Stall(SimDuration duration) { queue_.Freeze(duration); }
+  SimTime stalled_until() const { return queue_.frozen_until(); }
 
   // -- Zombie-mode support ----------------------------------------------
 

@@ -30,6 +30,10 @@ std::uint64_t HashLabel(std::string_view label) {
 
 }  // namespace
 
+std::uint64_t MixHash(std::uint64_t x) {
+  return SplitMix64(x);  // advances the local copy; stateless to callers
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;
   for (auto& s : s_) s = SplitMix64(x);

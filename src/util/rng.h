@@ -13,6 +13,12 @@
 
 namespace hogsim {
 
+/// Stateless 64-bit mix (the SplitMix64 finalizer). Deterministic
+/// "randomness" for fault injection that must stay RNG-neutral: hashing a
+/// (node, sequence) pair gives seed-independent per-event jitter without
+/// touching any component's Rng stream.
+std::uint64_t MixHash(std::uint64_t x);
+
 class Rng {
  public:
   /// Seeds the state from `seed` via SplitMix64 so that nearby seeds still

@@ -37,6 +37,12 @@ at 110s fail-tor 0 2 90s
 at 120s partition-rack all 1 2m
 at 130s degrade-fabric 2 0.4 3m
 at 135s degrade-fabric all 0.6
+at 140s slow-node 3 4 10m
+at 145s slow-node 5 2
+at 150s slow-site all 1.5 5m
+at 160s delay-heartbeats 1 30s 10m
+at 165s delay-heartbeats all 10s
+at 170s stall-disk 2 90s
 )";
 
 void ExpectSameScenario(const Scenario& a, const Scenario& b) {
@@ -52,6 +58,8 @@ void ExpectSameScenario(const Scenario& a, const Scenario& b) {
     EXPECT_EQ(x.action.site, y.action.site);
     EXPECT_EQ(x.action.site_b, y.action.site_b);
     EXPECT_EQ(x.action.rack, y.action.rack);
+    EXPECT_EQ(x.action.node, y.action.node);
+    EXPECT_EQ(x.action.jitter, y.action.jitter);
     EXPECT_DOUBLE_EQ(x.action.value, y.action.value);
     EXPECT_EQ(x.action.duration, y.action.duration);
   }
@@ -59,7 +67,7 @@ void ExpectSameScenario(const Scenario& a, const Scenario& b) {
 
 TEST(Scenario, GoldenRoundTripEveryActionKind) {
   const Scenario parsed = ParseScenario(kAllKinds);
-  ASSERT_EQ(parsed.actions.size(), 16u);
+  ASSERT_EQ(parsed.actions.size(), 22u);
   const std::string canonical = FormatScenario(parsed);
   const Scenario again = ParseScenario(canonical);
   ExpectSameScenario(parsed, again);
@@ -105,6 +113,27 @@ TEST(Scenario, ParsesOperandsExactly) {
   EXPECT_EQ(s.actions[14].action.duration, 3 * kMinute);
   // degrade-fabric's duration is optional, like degrade-uplink's.
   EXPECT_EQ(s.actions[15].action.duration, 0);
+
+  // The gray kinds: slow-node / stall-disk address a grid LEASE (the
+  // `node` operand), slow-site / delay-heartbeats a site, and the
+  // slowdown durations are optional (0 = until restored).
+  EXPECT_EQ(s.actions[16].action.kind, ActionKind::kSlowNode);
+  EXPECT_EQ(s.actions[16].action.node, 3);
+  EXPECT_DOUBLE_EQ(s.actions[16].action.value, 4.0);
+  EXPECT_EQ(s.actions[16].action.duration, 10 * kMinute);
+  EXPECT_EQ(s.actions[17].action.duration, 0);
+  EXPECT_EQ(s.actions[18].action.kind, ActionKind::kSlowSite);
+  EXPECT_EQ(s.actions[18].action.site, kAllSites);
+  EXPECT_DOUBLE_EQ(s.actions[18].action.value, 1.5);
+  EXPECT_EQ(s.actions[19].action.kind, ActionKind::kDelayHeartbeats);
+  EXPECT_EQ(s.actions[19].action.site, 1);
+  EXPECT_EQ(s.actions[19].action.jitter, 30 * kSecond);
+  EXPECT_EQ(s.actions[19].action.duration, 10 * kMinute);
+  EXPECT_EQ(s.actions[20].action.site, kAllSites);
+  EXPECT_EQ(s.actions[20].action.duration, 0);
+  EXPECT_EQ(s.actions[21].action.kind, ActionKind::kStallDisk);
+  EXPECT_EQ(s.actions[21].action.node, 2);
+  EXPECT_EQ(s.actions[21].action.duration, 90 * kSecond);
 }
 
 TEST(Scenario, TimeUnitsIncludingBareSeconds) {
@@ -150,6 +179,9 @@ TEST(Scenario, MalformedLinePositions) {
       {"at 1s throttle-acquisition 0 0", 1, 30},  // factor must be > 0
       {"\nat 1s freeze-acquisition 0 0s", 2, 28},  // zero duration
       {"every 10s until 5s preempt-nodes 0 1", 1, 17},  // until < period
+      {"at 1s slow-node 0 0", 1, 19},          // factor must be > 0
+      {"at 1s delay-heartbeats 0 0s", 1, 26},  // jitter must be > 0
+      {"at 1s stall-disk 0", 1, 19},           // missing duration
   };
   for (const BadLine& bad : cases) {
     SCOPED_TRACE(bad.text);
@@ -185,7 +217,7 @@ TEST(Scenario, CommittedScenarioFilesRoundTrip) {
   const std::string root = HOGSIM_SOURCE_DIR "/scenarios/";
   for (const char* name :
        {"site_storm.txt", "rolling_partition.txt", "namenode_blackout.txt",
-        "osg_replay.trace"}) {
+        "heartbeat_jitter.txt", "slow_node_storm.txt", "osg_replay.trace"}) {
     SCOPED_TRACE(name);
     const Scenario s = LoadScenarioFile(root + name);
     EXPECT_FALSE(s.empty());
